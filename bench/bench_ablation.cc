@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation study of Elk's design components (beyond the paper's
+ * Basic/Static/Elk-Dyn/Elk-Full ladder):
+ *
+ *  - preload-depth window cap (the K explored by §4.2);
+ *  - preload-state anchor weight (broadcast <-> scatter, §4.3);
+ *  - preload order permutation on/off (§4.4);
+ *  - planner cost model: analytic vs linear-tree fitted (Fig. 12).
+ */
+#include "bench_common.h"
+
+#include "cost/profiler.h"
+#include "elk/inductive_scheduler.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+    auto model = graph::llama2_13b();
+    auto graph = graph::build_decode_graph(model, 32, 2048);
+    sim::Machine machine(cfg);
+    sim::Engine engine(machine);
+
+    // --- (a) window cap ---
+    util::Table wt({"max_window", "latency(ms)", "est(ms)"});
+    {
+        compiler::Compiler comp(graph, cfg);
+        compiler::InductiveScheduler sched(comp.library());
+        for (int w : {1, 2, 4, 8, 16, 28}) {
+            compiler::ScheduleOptions opts;
+            opts.max_window = w;
+            auto plan = sched.schedule_in_order(opts);
+            if (!plan) {
+                wt.add(w, "infeasible", "-");
+                continue;
+            }
+            auto run = engine.run(
+                runtime::lower_to_sim(graph, *plan, comp.context()));
+            wt.add(w, runtime::ms(run.total_time),
+                   runtime::ms(plan->est_total_time));
+        }
+    }
+    wt.print("Ablation (a): preload window cap (Llama2-13B b32 s2048)");
+    wt.write_csv("ablation_window");
+
+    // --- (b) preload anchor weight ---
+    util::Table at({"overhead_weight", "latency(ms)"});
+    {
+        compiler::Compiler comp(graph, cfg);
+        compiler::InductiveScheduler sched(comp.library());
+        for (double a : {0.0, 0.25, 1.0, 4.0, 1e9}) {
+            compiler::ScheduleOptions opts;
+            opts.overhead_weight = a;
+            auto plan = sched.schedule_in_order(opts);
+            if (!plan) {
+                continue;
+            }
+            auto run = engine.run(
+                runtime::lower_to_sim(graph, *plan, comp.context()));
+            at.add(a, runtime::ms(run.total_time));
+        }
+    }
+    at.print("Ablation (b): broadcast<->scatter anchor weight");
+    at.write_csv("ablation_anchor");
+
+    // --- (c) preload reordering ---
+    util::Table rt({"model", "ELK-Dyn(ms)", "ELK-Full(ms)", "gain"});
+    for (const auto& m : bench::llm_models()) {
+        auto g = graph::build_decode_graph(m, 32, 2048);
+        compiler::Compiler comp(g, cfg);
+        auto dyn =
+            bench::run_design(comp, g, cfg, compiler::Mode::kElkDyn);
+        auto full =
+            bench::run_design(comp, g, cfg, compiler::Mode::kElkFull);
+        rt.add(m.name, runtime::ms(dyn.sim.total_time),
+               runtime::ms(full.sim.total_time),
+               runtime::speedup(full.sim, dyn.sim));
+    }
+    rt.print("Ablation (c): preload order permutation (Full vs Dyn)");
+    rt.write_csv("ablation_reorder");
+
+    // --- (d) planner cost model ---
+    util::Table ct({"cost_model", "latency(ms)", "compile(s)"});
+    {
+        compiler::CompileOptions opts;
+        opts.mode = compiler::Mode::kElkDyn;
+
+        compiler::Compiler analytic(graph, cfg);
+        auto a = analytic.compile(opts);
+        auto a_run = runtime::run_plan(machine, graph, a.plan,
+                                       analytic.context());
+        ct.add("analytic", runtime::ms(a_run.total_time),
+               a.compile_seconds);
+
+        auto fitted = cost::FittedExecCost::train(
+            cfg, bench::fast_mode() ? 150 : 400);
+        compiler::Compiler learned(graph, cfg, &fitted);
+        auto f = learned.compile(opts);
+        auto f_run = runtime::run_plan(machine, graph, f.plan,
+                                       learned.context());
+        ct.add("linear-tree (fitted)", runtime::ms(f_run.total_time),
+               f.compile_seconds);
+    }
+    ct.print("Ablation (d): planner cost model");
+    ct.write_csv("ablation_cost_model");
+    return 0;
+}

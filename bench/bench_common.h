@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark drivers: the evaluation
+ * workloads (paper Table 2), design compilation/execution wrappers,
+ * and environment knobs (ELK_BENCH_FAST=1 trims sweeps for CI).
+ */
+#ifndef ELK_BENCH_BENCH_COMMON_H
+#define ELK_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "elk/compiler.h"
+#include "graph/model_builder.h"
+#include "graph/model_config.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "sim/engine.h"
+#include "util/table.h"
+
+namespace elk::bench {
+
+/// True when the fast (CI) sweep mode is requested.
+inline bool
+fast_mode()
+{
+    const char* env = std::getenv("ELK_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+/// The paper's four LLM evaluation workloads.
+inline std::vector<graph::ModelConfig>
+llm_models()
+{
+    return {graph::llama2_13b(), graph::gemma2_27b(), graph::opt_30b(),
+            graph::llama2_70b()};
+}
+
+/// The five designs of §6.1 in presentation order.
+inline std::vector<compiler::Mode>
+all_designs()
+{
+    return {compiler::Mode::kBasic, compiler::Mode::kStatic,
+            compiler::Mode::kElkDyn, compiler::Mode::kElkFull,
+            compiler::Mode::kIdeal};
+}
+
+/// One compiled-and-simulated design point.
+struct RunResult {
+    compiler::Mode mode;
+    compiler::CompileResult compiled;
+    sim::SimResult sim;
+};
+
+/**
+ * Compiles @p mode for (@p graph, @p cfg) and runs it on the matching
+ * machine (Ideal runs on the split-fabric machine per §6.1).
+ */
+inline RunResult
+run_design(const compiler::Compiler& comp, const graph::Graph& graph,
+           const hw::ChipConfig& cfg, compiler::Mode mode,
+           int max_orders = 24)
+{
+    compiler::CompileOptions opts;
+    opts.mode = mode;
+    opts.max_orders = fast_mode() ? 6 : max_orders;
+    RunResult r;
+    r.mode = mode;
+    r.compiled = comp.compile(opts);
+    sim::Machine machine(cfg, mode == compiler::Mode::kIdeal);
+    r.sim = runtime::run_plan(machine, graph, r.compiled.plan,
+                              comp.context());
+    return r;
+}
+
+/// Runs every design on one workload; returns results in design order.
+inline std::vector<RunResult>
+run_all_designs(const graph::Graph& graph, const hw::ChipConfig& cfg)
+{
+    compiler::Compiler comp(graph, cfg);
+    std::vector<RunResult> out;
+    for (auto mode : all_designs()) {
+        out.push_back(run_design(comp, graph, cfg, mode));
+    }
+    return out;
+}
+
+}  // namespace elk::bench
+
+#endif  // ELK_BENCH_BENCH_COMMON_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Fig. 5: execution times of representative operators under
+ * different per-core execution-space budgets. Each row is one plan on
+ * the operator's (space, time) Pareto front.
+ *
+ * Shape to hold: faster execution plans require more per-core
+ * execution space; operators differ widely in their memory-time
+ * curves, motivating per-operator space allocation.
+ */
+#include <map>
+
+#include "bench_common.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+
+    util::Table table({"model", "operator", "plan", "exec_space(KB)",
+                       "exec_time(us)"});
+
+    std::vector<graph::ModelConfig> models = {
+        graph::llama2_13b(), graph::gemma2_27b(), graph::opt_30b()};
+    // Representative operators of Fig. 5.
+    std::vector<std::string> reps = {"attn_qkv", "attn_score",
+                                     "attn_norm", "ffn_down"};
+
+    for (const auto& model : models) {
+        auto graph = graph::build_decode_graph(model, 32, 2048);
+        compiler::Compiler comp(graph, cfg);
+        std::map<std::string, bool> done;
+        for (const auto& op : graph.ops()) {
+            bool wanted = false;
+            for (const auto& rep : reps) {
+                if (op.name == rep) {
+                    wanted = true;
+                }
+            }
+            if (!wanted || done[op.name]) {
+                continue;
+            }
+            done[op.name] = true;
+            for (const auto& plan : comp.library().exec_plans(op.id)) {
+                table.add(model.name, op.name, plan.to_string(),
+                          static_cast<double>(plan.exec_space) / 1024.0,
+                          util::to_us(plan.exec_time));
+            }
+        }
+    }
+
+    table.print("Fig. 5: operator execution time vs execution space");
+    table.write_csv("fig05_exec_space");
+    return 0;
+}

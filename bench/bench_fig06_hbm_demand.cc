@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Paper Fig. 6: HBM bandwidth demand across time given different
+ * per-core preload-space sizes (128/256/384 KB). Demand is the
+ * minimum HBM bandwidth that keeps execution from stalling: the bytes
+ * that must arrive during each operator's execution window divided by
+ * that window.
+ *
+ * Shape to hold: a small preload space causes large demand spikes
+ * (insufficient preload opportunity); larger spaces smooth the demand
+ * curve (lower peak/stdev).
+ */
+#include "bench_common.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+
+    util::Table table({"model", "preload_space(KB)", "mean(TB/s)",
+                       "p95(TB/s)", "max(TB/s)", "stdev(TB/s)"});
+    util::Table series({"model", "preload_space(KB)", "time(ms)",
+                        "demand(TB/s)"});
+
+    std::vector<graph::ModelConfig> models = {
+        graph::llama2_13b(), graph::gemma2_27b(), graph::opt_30b()};
+
+    for (const auto& model : models) {
+        auto graph = graph::build_decode_graph(model, 32, 2048);
+        compiler::Compiler comp(graph, cfg);
+        for (uint64_t kb : {128, 256, 384}) {
+            compiler::CompileOptions opts;
+            opts.mode = compiler::Mode::kStatic;
+            opts.static_region = kb * 1024;
+            auto result = comp.compile(opts);
+            const auto& plan = result.plan;
+
+            // Demand per execution window: HBM bytes of the preloads
+            // issued in each slot over that operator's execution time.
+            std::vector<double> window_bytes(graph.size(), 0.0);
+            for (size_t r = 0; r < plan.preload_order.size(); ++r) {
+                window_bytes[plan.issue_slot[r]] += static_cast<double>(
+                    graph.op(plan.preload_order[r]).hbm_bytes());
+            }
+            std::vector<double> demand;
+            double t = 0.0;
+            for (int i = 0; i < graph.size(); ++i) {
+                double window = plan.ops[i].est_exec_time;
+                demand.push_back(window_bytes[i] / window / 1e12);
+                t += window;
+                if (i % std::max(1, graph.size() / 24) == 0) {
+                    series.add(model.name, kb, t * 1e3, demand.back());
+                }
+            }
+            table.add(model.name, kb, util::mean(demand),
+                      util::percentile(demand, 95),
+                      util::percentile(demand, 100), util::stdev(demand));
+        }
+    }
+
+    table.print("Fig. 6: HBM bandwidth demand vs preload space (stats)");
+    series.print("Fig. 6: demand-over-time series (downsampled)");
+    table.write_csv("fig06_hbm_demand_stats");
+    series.write_csv("fig06_hbm_demand_series");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Paper Fig. 12: cost-model accuracy. Random tiles of each operator
+ * class are profiled on the simulated device (with measurement
+ * noise), a linear-tree model is fit per class (§4.3), and held-out
+ * tiles compare predicted vs measured times. A per-link transfer
+ * model is validated the same way.
+ *
+ * Shape to hold: predictions track measurements across 3-4 orders of
+ * magnitude (high R^2, low MAPE) for MatMul, reduction ops,
+ * elementwise ops and inter-core transfers.
+ */
+#include "bench_common.h"
+#include "cost/linear_tree.h"
+#include "cost/profiler.h"
+#include "cost/transfer_cost.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+    const int train_n = bench::fast_mode() ? 200 : 600;
+    const int test_n = bench::fast_mode() ? 80 : 250;
+
+    util::Table table({"class", "samples", "MAPE", "R^2"});
+    util::Table points({"class", "measured(us)", "predicted(us)"});
+
+    auto fitted = cost::FittedExecCost::train(cfg, train_n, /*seed=*/11);
+    struct Class {
+        const char* name;
+        graph::OpKind kind;
+    };
+    std::vector<Class> classes = {
+        {"MatMul", graph::OpKind::kMatMul},
+        {"BatchMatMul", graph::OpKind::kBatchMatMul},
+        {"Reduce(Softmax)", graph::OpKind::kSoftmax},
+        {"Reduce(LayerNorm)", graph::OpKind::kLayerNorm},
+        {"Elementwise", graph::OpKind::kElementwise},
+    };
+    for (const auto& cls : classes) {
+        auto holdout =
+            cost::profile_tiles(cls.kind, test_n, cfg, /*seed=*/987);
+        std::vector<double> measured, predicted;
+        for (size_t i = 0; i < holdout.size(); ++i) {
+            measured.push_back(holdout[i].measured);
+            predicted.push_back(fitted.tile_time(holdout[i].tile, cfg));
+            if (i % std::max<size_t>(1, holdout.size() / 12) == 0) {
+                points.add(cls.name, measured.back() * 1e6,
+                           predicted.back() * 1e6);
+            }
+        }
+        table.add(cls.name, static_cast<int>(holdout.size()),
+                  util::mape(measured, predicted),
+                  util::r_squared(measured, predicted));
+    }
+
+    // Inter-core transfer model: linear tree on byte counts.
+    {
+        auto train = cost::profile_transfers(train_n, cfg, 5);
+        std::vector<std::vector<double>> x;
+        std::vector<double> y;
+        for (const auto& [bytes, t] : train) {
+            x.push_back({bytes});
+            y.push_back(t);
+        }
+        cost::LinearTreeModel model;
+        model.fit(x, y);
+        auto holdout = cost::profile_transfers(test_n, cfg, 12345);
+        std::vector<double> measured, predicted;
+        for (size_t i = 0; i < holdout.size(); ++i) {
+            measured.push_back(holdout[i].second);
+            predicted.push_back(model.predict({holdout[i].first}));
+            if (i % std::max<size_t>(1, holdout.size() / 12) == 0) {
+                points.add("Transfer", measured.back() * 1e6,
+                           predicted.back() * 1e6);
+            }
+        }
+        table.add("Inter-core Transfer",
+                  static_cast<int>(holdout.size()),
+                  util::mape(measured, predicted),
+                  util::r_squared(measured, predicted));
+    }
+
+    table.print("Fig. 12: cost model accuracy (held-out tiles)");
+    points.print("Fig. 12: sample predicted-vs-measured points");
+    table.write_csv("fig12_cost_model");
+    points.write_csv("fig12_cost_model_points");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Paper Fig. 16: Elk compilation time for varied models and batch
+ * sizes (2-64). The paper compiles an IPU-POD4 plan for an LLM within
+ * minutes on a 32-core CPU (Python implementation); this C++
+ * implementation is faster, but the shape — sub-linear growth of the
+ * search space with model/batch size — must hold.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+    std::vector<int> batches = bench::fast_mode()
+                                   ? std::vector<int>{8, 32}
+                                   : std::vector<int>{2, 4, 8, 16, 32, 64};
+
+    util::Table table({"model", "batch", "compile(s)", "orders_tested",
+                       "N", "P", "K"});
+
+    for (const auto& model : bench::llm_models()) {
+        for (int batch : batches) {
+            auto graph = graph::build_decode_graph(model, batch, 2048);
+            compiler::Compiler comp(graph, cfg);
+            compiler::CompileOptions opts;
+            opts.mode = compiler::Mode::kElkFull;
+            opts.max_orders = bench::fast_mode() ? 6 : 96;
+            auto result = comp.compile(opts);
+            table.add(model.name, batch, result.compile_seconds,
+                      result.stats.orders_tested, result.stats.n_ops,
+                      result.stats.max_plans,
+                      result.stats.max_fit_window);
+        }
+    }
+
+    table.print("Fig. 16: Elk-Full compile time vs model/batch size");
+    table.write_csv("fig16_compile_time");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Paper Fig. 17: per-token serving latency of LLM decoding for the
+ * five designs across 4 models x batch {16,32,64} x seq {2048,4096}
+ * on 4 ICCA chips with 16 TB/s HBM.
+ *
+ * Shape to hold: Elk-Full ~1.9x over Basic, ~1.4x over Static, and
+ * >= ~90% of the Ideal roofline, scaling with batch and sequence.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+
+    std::vector<int> batches = bench::fast_mode()
+                                   ? std::vector<int>{32}
+                                   : std::vector<int>{16, 32, 64};
+    std::vector<int> seqs = bench::fast_mode()
+                                ? std::vector<int>{2048}
+                                : std::vector<int>{2048, 4096};
+
+    util::Table table({"model", "batch", "seq", "Basic(ms)", "Static(ms)",
+                       "ELK-Dyn(ms)", "ELK-Full(ms)", "Ideal(ms)",
+                       "Full/Basic", "Full/Static", "%ofIdeal"});
+    double sum_frac = 0.0;
+    double sum_vs_basic = 0.0;
+    double sum_vs_static = 0.0;
+    int count = 0;
+
+    for (const auto& model : bench::llm_models()) {
+        for (int seq : seqs) {
+            for (int batch : batches) {
+                auto graph = graph::build_decode_graph(model, batch, seq);
+                auto runs = bench::run_all_designs(graph, cfg);
+                const auto& basic = runs[0].sim;
+                const auto& stat = runs[1].sim;
+                const auto& full = runs[3].sim;
+                const auto& ideal = runs[4].sim;
+                double frac = runtime::fraction_of_ideal(full, ideal);
+                sum_frac += frac;
+                sum_vs_basic += runtime::speedup(full, basic);
+                sum_vs_static += runtime::speedup(full, stat);
+                ++count;
+                table.add(model.name, batch, seq,
+                          runtime::ms(basic.total_time),
+                          runtime::ms(stat.total_time),
+                          runtime::ms(runs[2].sim.total_time),
+                          runtime::ms(full.total_time),
+                          runtime::ms(ideal.total_time),
+                          runtime::speedup(full, basic),
+                          runtime::speedup(full, stat),
+                          runtime::pct(frac));
+            }
+        }
+    }
+
+    table.print("Fig. 17: per-token serving latency (4 chips, 16 TB/s HBM)");
+    table.write_csv("fig17_end2end");
+    std::printf(
+        "\nSummary: Elk-Full avg %.2fx over Basic, %.2fx over Static, "
+        "%.1f%% of Ideal (paper: 1.87x, 1.37x, 94.8%%)\n",
+        sum_vs_basic / count, sum_vs_static / count,
+        100.0 * sum_frac / count);
+    return 0;
+}

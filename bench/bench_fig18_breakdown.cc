@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper Fig. 18: latency breakdown and hardware utilization at
+ * batch 32, seq 2048 across the four LLMs.
+ *
+ *  (a) total time split into preload-only / execute-only / overlapped,
+ *      plus the interconnect-contention stall;
+ *  (b) average HBM bandwidth utilization (Basic ~35% ... Ideal ~64%);
+ *  (c) interconnect utilization split into preload vs inter-core
+ *      shares (Elk-Full ~90%);
+ *  (d) achieved TFLOPS (bandwidth-bound, Elk-Full near Ideal).
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+
+    util::Table a({"model", "design", "total(ms)", "preload(ms)",
+                   "execute(ms)", "overlap(ms)", "noc_stall(ms)"});
+    util::Table b({"model", "design", "hbm_util"});
+    util::Table c({"model", "design", "noc_util", "noc_preload",
+                   "noc_intercore"});
+    util::Table d({"model", "design", "TFLOPS"});
+
+    for (const auto& model : bench::llm_models()) {
+        auto graph = graph::build_decode_graph(model, 32, 2048);
+        auto runs = bench::run_all_designs(graph, cfg);
+        for (const auto& r : runs) {
+            std::string design = compiler::mode_name(r.mode);
+            a.add(model.name, design, runtime::ms(r.sim.total_time),
+                  runtime::ms(r.sim.preload_only),
+                  runtime::ms(r.sim.execute_only),
+                  runtime::ms(r.sim.overlapped),
+                  runtime::ms(r.sim.interconnect_stall));
+            b.add(model.name, design, runtime::pct(r.sim.hbm_util));
+            c.add(model.name, design, runtime::pct(r.sim.noc_util),
+                  runtime::pct(r.sim.noc_util_preload),
+                  runtime::pct(r.sim.noc_util_peer));
+            d.add(model.name, design, r.sim.achieved_tflops);
+        }
+    }
+
+    a.print("Fig. 18a: latency breakdown (b32 s2048)");
+    b.print("Fig. 18b: average HBM bandwidth utilization");
+    c.print("Fig. 18c: interconnect utilization (preload / inter-core)");
+    d.print("Fig. 18d: achieved TFLOPS");
+    a.write_csv("fig18a_breakdown");
+    b.write_csv("fig18b_hbm_util");
+    c.write_csv("fig18c_noc_util");
+    d.write_csv("fig18d_tflops");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Paper Fig. 19: per-token latency at varied HBM bandwidths (4-16
+ * TB/s) for both all-to-all and 2D-mesh interconnects.
+ *
+ * Shape to hold: all designs are HBM-bound at low bandwidth; returns
+ * diminish as the interconnect/execution become the bottleneck; the
+ * mesh suffers more interconnect contention, so Elk-Full matches the
+ * Ideal less closely there, especially on non-GQA models.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    std::vector<double> hbm_tbs = bench::fast_mode()
+                                      ? std::vector<double>{8, 16}
+                                      : std::vector<double>{4, 6, 8, 10,
+                                                            12, 14, 16};
+    auto models = bench::fast_mode()
+                      ? std::vector<graph::ModelConfig>{graph::llama2_13b()}
+                      : bench::llm_models();
+
+    util::Table table({"topology", "model", "hbm(TB/s)", "Basic(ms)",
+                       "Static(ms)", "ELK-Dyn(ms)", "ELK-Full(ms)",
+                       "Ideal(ms)"});
+
+    for (auto topo : {hw::TopologyKind::kAllToAll,
+                      hw::TopologyKind::kMesh2D}) {
+        for (const auto& model : models) {
+            auto graph = graph::build_decode_graph(model, 32, 2048);
+            for (double tb : hbm_tbs) {
+                auto cfg = hw::ChipConfig::ipu_pod4();
+                cfg.topology = topo;
+                cfg.hbm_total_bw = tb * 1e12;
+                auto runs = bench::run_all_designs(graph, cfg);
+                table.add(hw::topology_name(topo), model.name, tb,
+                          runtime::ms(runs[0].sim.total_time),
+                          runtime::ms(runs[1].sim.total_time),
+                          runtime::ms(runs[2].sim.total_time),
+                          runtime::ms(runs[3].sim.total_time),
+                          runtime::ms(runs[4].sim.total_time));
+            }
+        }
+    }
+
+    table.print("Fig. 19: per-token latency vs HBM bandwidth");
+    table.write_csv("fig19_hbm_sweep");
+    return 0;
+}

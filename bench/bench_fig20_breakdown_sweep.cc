@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Paper Fig. 20: latency breakdown of Llama2-13B decoding at varied
+ * HBM bandwidths on the all-to-all interconnect.
+ *
+ * Shape to hold: for Basic/Static/Elk-Dyn, interconnect contention
+ * grows with HBM bandwidth (faster HBM pushes more delivery traffic
+ * through the shared fabric); Elk-Full's reordering suppresses it.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    std::vector<double> hbm_tbs =
+        bench::fast_mode() ? std::vector<double>{8, 16}
+                           : std::vector<double>{6, 8, 10, 12, 14, 16};
+
+    util::Table table({"design", "hbm(TB/s)", "total(ms)", "preload(ms)",
+                       "execute(ms)", "overlap(ms)", "noc_stall(ms)"});
+
+    auto model = graph::llama2_13b();
+    auto graph = graph::build_decode_graph(model, 32, 2048);
+    for (double tb : hbm_tbs) {
+        auto cfg = hw::ChipConfig::ipu_pod4();
+        cfg.hbm_total_bw = tb * 1e12;
+        auto runs = bench::run_all_designs(graph, cfg);
+        for (const auto& r : runs) {
+            table.add(compiler::mode_name(r.mode), tb,
+                      runtime::ms(r.sim.total_time),
+                      runtime::ms(r.sim.preload_only),
+                      runtime::ms(r.sim.execute_only),
+                      runtime::ms(r.sim.overlapped),
+                      runtime::ms(r.sim.interconnect_stall));
+        }
+    }
+
+    table.print(
+        "Fig. 20: Llama2-13B latency breakdown vs HBM bandwidth "
+        "(all-to-all)");
+    table.write_csv("fig20_breakdown_sweep");
+    return 0;
+}

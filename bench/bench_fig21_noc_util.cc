@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Fig. 21: interconnect utilization at varied HBM bandwidths
+ * for both topologies.
+ *
+ * Shape to hold: mesh chips run at higher interconnect utilization
+ * than all-to-all for the same workload (multi-hop delivery), and
+ * Elk-Full is the design that utilizes the fabric most fully.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    std::vector<double> hbm_tbs =
+        bench::fast_mode() ? std::vector<double>{8, 16}
+                           : std::vector<double>{4, 8, 12, 16};
+    auto models = bench::fast_mode()
+                      ? std::vector<graph::ModelConfig>{graph::llama2_13b()}
+                      : bench::llm_models();
+
+    util::Table table({"topology", "model", "hbm(TB/s)", "Basic",
+                       "Static", "ELK-Dyn", "ELK-Full"});
+
+    for (auto topo : {hw::TopologyKind::kAllToAll,
+                      hw::TopologyKind::kMesh2D}) {
+        for (const auto& model : models) {
+            auto graph = graph::build_decode_graph(model, 32, 2048);
+            for (double tb : hbm_tbs) {
+                auto cfg = hw::ChipConfig::ipu_pod4();
+                cfg.topology = topo;
+                cfg.hbm_total_bw = tb * 1e12;
+                compiler::Compiler comp(graph, cfg);
+                std::vector<std::string> cells;
+                table.add_row({hw::topology_name(topo), model.name,
+                               util::Table::format_cell(tb),
+                               runtime::pct(bench::run_design(
+                                                comp, graph, cfg,
+                                                compiler::Mode::kBasic)
+                                                .sim.noc_util),
+                               runtime::pct(bench::run_design(
+                                                comp, graph, cfg,
+                                                compiler::Mode::kStatic)
+                                                .sim.noc_util),
+                               runtime::pct(bench::run_design(
+                                                comp, graph, cfg,
+                                                compiler::Mode::kElkDyn)
+                                                .sim.noc_util),
+                               runtime::pct(bench::run_design(
+                                                comp, graph, cfg,
+                                                compiler::Mode::kElkFull)
+                                                .sim.noc_util)});
+            }
+        }
+    }
+
+    table.print("Fig. 21: interconnect utilization vs HBM bandwidth");
+    table.write_csv("fig21_noc_util");
+    return 0;
+}

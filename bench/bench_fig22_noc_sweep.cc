@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Fig. 22: Llama2-70B latency at varied interconnect bandwidths
+ * under different HBM bandwidths, for both topologies.
+ *
+ * Shape to hold: with low HBM bandwidth, scaling the interconnect
+ * beyond a point gives nothing (HBM-bound); with high HBM bandwidth,
+ * latency scales with interconnect bandwidth, and the mesh is more
+ * sensitive to it. Interconnect and HBM bandwidth must scale together.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    // Interconnect scale factors relative to the baseline fabric
+    // (baseline all-to-all aggregate is ~32 TB/s over 4 chips, the
+    // paper sweeps 24-48 TB/s total).
+    std::vector<double> noc_scale =
+        bench::fast_mode() ? std::vector<double>{0.75, 1.5}
+                           : std::vector<double>{0.75, 1.0, 1.25, 1.5};
+    std::vector<double> hbm_tbs =
+        bench::fast_mode() ? std::vector<double>{8, 14}
+                           : std::vector<double>{8, 10, 12, 14};
+
+    util::Table table({"topology", "hbm(TB/s)", "noc_total(TB/s)",
+                       "Basic(ms)", "Static(ms)", "ELK-Dyn(ms)",
+                       "ELK-Full(ms)", "Ideal(ms)"});
+
+    auto graph = graph::build_decode_graph(graph::llama2_70b(), 32, 2048);
+    for (auto topo : {hw::TopologyKind::kAllToAll,
+                      hw::TopologyKind::kMesh2D}) {
+        for (double tb : hbm_tbs) {
+            for (double scale : noc_scale) {
+                auto cfg = hw::ChipConfig::ipu_pod4();
+                cfg.topology = topo;
+                cfg.hbm_total_bw = tb * 1e12;
+                cfg.inter_core_link_bw *= scale;
+                cfg.mesh_link_bw *= scale;
+                double noc_total =
+                    cfg.noc_aggregate_bw() * cfg.num_chips / 1e12;
+                auto runs = bench::run_all_designs(graph, cfg);
+                table.add(hw::topology_name(topo), tb, noc_total,
+                          runtime::ms(runs[0].sim.total_time),
+                          runtime::ms(runs[1].sim.total_time),
+                          runtime::ms(runs[2].sim.total_time),
+                          runtime::ms(runs[3].sim.total_time),
+                          runtime::ms(runs[4].sim.total_time));
+            }
+        }
+    }
+
+    table.print("Fig. 22: Llama2-70B latency vs interconnect bandwidth");
+    table.write_csv("fig22_noc_sweep");
+    return 0;
+}

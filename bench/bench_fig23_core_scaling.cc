@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Fig. 23: per-token latency at varied core counts, with the
+ * HBM bandwidth fixed at 2.7 GB/s per core. LLMs run on 1-4 chips
+ * (1472-5888 cores); DiT-XL runs on a single chip (up to 1472 cores).
+ *
+ * Shape to hold: Elk-Full outperforms the others at every scale
+ * (avg ~1.7x over Basic, ~1.4x over Static); DiT-XL is
+ * compute-intensive, so the preload-side gap narrows but Elk-Full
+ * still tracks the Ideal.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+
+    util::Table table({"model", "cores", "Basic(ms)", "Static(ms)",
+                       "ELK-Dyn(ms)", "ELK-Full(ms)", "Ideal(ms)"});
+
+    // LLMs: scale the chip count (whole-chip granularity keeps the
+    // per-chip fabric model intact).
+    std::vector<int> chips =
+        bench::fast_mode() ? std::vector<int>{2, 4}
+                           : std::vector<int>{1, 2, 3, 4};
+    auto models = bench::fast_mode()
+                      ? std::vector<graph::ModelConfig>{graph::llama2_13b()}
+                      : bench::llm_models();
+    for (const auto& model : models) {
+        auto graph = graph::build_decode_graph(model, 32, 2048);
+        for (int n : chips) {
+            auto cfg = hw::ChipConfig::ipu_pod4();
+            cfg.num_chips = n;
+            cfg.hbm_total_bw = 2.7e9 * cfg.total_cores();
+            auto runs = bench::run_all_designs(graph, cfg);
+            table.add(model.name, cfg.total_cores(),
+                      runtime::ms(runs[0].sim.total_time),
+                      runtime::ms(runs[1].sim.total_time),
+                      runtime::ms(runs[2].sim.total_time),
+                      runtime::ms(runs[3].sim.total_time),
+                      runtime::ms(runs[4].sim.total_time));
+        }
+    }
+
+    // DiT-XL on one chip with reduced core counts.
+    std::vector<int> cores = bench::fast_mode()
+                                 ? std::vector<int>{1472}
+                                 : std::vector<int>{736, 1104, 1472};
+    for (int c : cores) {
+        auto cfg = hw::ChipConfig::ipu_pod4();
+        cfg.num_chips = 1;
+        cfg.cores_per_chip = c;
+        cfg.hbm_total_bw = 2.7e9 * cfg.total_cores();
+        auto graph = graph::build_dit_graph(graph::dit_xl(), 8, 256);
+        auto runs = bench::run_all_designs(graph, cfg);
+        table.add("DiT-XL", c, runtime::ms(runs[0].sim.total_time),
+                  runtime::ms(runs[1].sim.total_time),
+                  runtime::ms(runs[2].sim.total_time),
+                  runtime::ms(runs[3].sim.total_time),
+                  runtime::ms(runs[4].sim.total_time));
+    }
+
+    table.print("Fig. 23: latency vs core count (2.7 GB/s HBM per core)");
+    table.write_csv("fig23_core_scaling");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Paper Fig. 24: achieved TFLOPS during the (forward-pass) training
+ * of Llama2-13B, at varied available MatMul TFLOPS, interconnect
+ * bandwidths and (much cheaper) off-chip bandwidths.
+ *
+ * Shape to hold: training is compute-intensive — achieved TFLOPS
+ * scales with available TFLOPS while HBM bandwidth barely matters
+ * (300-400 GB/s suffices for 600+ achieved TFLOPS), so compute-bound
+ * ICCA chips can pair with cheap memory.
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    std::vector<double> avail_tflops =
+        bench::fast_mode() ? std::vector<double>{1000, 1600}
+                           : std::vector<double>{800, 1000, 1200, 1400,
+                                                 1600};
+    std::vector<double> hbm_gbs = {300, 400};
+    std::vector<double> noc_scale = {1.0, 1.5};  // ~32 / ~48 TB/s total
+
+    util::Table table({"topology", "noc_scale", "hbm(GB/s)",
+                       "avail_TFLOPS", "Static", "ELK-Full", "Ideal"});
+
+    auto graph = graph::build_forward_graph(graph::llama2_13b(),
+                                            /*batch=*/4, /*seq=*/2048);
+    for (auto topo : {hw::TopologyKind::kAllToAll,
+                      hw::TopologyKind::kMesh2D}) {
+        for (double scale : noc_scale) {
+            for (double hbm : hbm_gbs) {
+                for (double tf : avail_tflops) {
+                    auto cfg = hw::ChipConfig::ipu_pod4();
+                    cfg.topology = topo;
+                    cfg.inter_core_link_bw *= scale;
+                    cfg.mesh_link_bw *= scale;
+                    cfg.hbm_total_bw = hbm * 1e9;
+                    cfg.core_matmul_flops =
+                        tf * 1e12 / cfg.total_cores();
+                    compiler::Compiler comp(graph, cfg);
+                    auto stat = bench::run_design(
+                        comp, graph, cfg, compiler::Mode::kStatic);
+                    auto full = bench::run_design(
+                        comp, graph, cfg, compiler::Mode::kElkFull);
+                    auto ideal = bench::run_design(
+                        comp, graph, cfg, compiler::Mode::kIdeal);
+                    table.add(hw::topology_name(topo), scale, hbm, tf,
+                              stat.sim.achieved_tflops,
+                              full.sim.achieved_tflops,
+                              ideal.sim.achieved_tflops);
+                }
+            }
+        }
+    }
+
+    table.print(
+        "Fig. 24: Llama2-13B training forward pass, achieved TFLOPS");
+    table.write_csv("fig24_training");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper Table 2: search-space complexity factors per model at batch
+ * 32, sequence 2048, on the IPU-POD4 capacity —
+ *   C: max HBM-heavy operators per layer that fit on-chip,
+ *   H: HBM-heavy operators per layer,
+ *   P: max Pareto plans per operator,
+ *   K: max operators that fit on-chip,
+ *   N: total operators.
+ *
+ * Shape to hold: H <= 6, C <= H, P in the tens-to-hundreds, K in the
+ * tens-to-hundreds, N in the hundreds-to-thousands, and the search
+ * space scales sub-linearly with model size. (Our N is smaller than
+ * the paper's because the builders emit coarser operators than ONNX —
+ * no Split/Reshape/Identity nodes.)
+ */
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace elk;
+    auto cfg = hw::ChipConfig::ipu_pod4();
+
+    util::Table table({"model", "C", "H", "P", "K", "N"});
+    std::vector<std::pair<graph::Graph, std::string>> graphs;
+    for (const auto& model : bench::llm_models()) {
+        graphs.emplace_back(graph::build_decode_graph(model, 32, 2048),
+                            model.name);
+    }
+    graphs.emplace_back(graph::build_dit_graph(graph::dit_xl(), 32, 256),
+                        "DiT-XL");
+
+    for (const auto& [graph, name] : graphs) {
+        compiler::Compiler comp(graph, cfg);
+        compiler::CompileOptions opts;
+        opts.mode = compiler::Mode::kElkFull;
+        opts.max_orders = 4;  // stats only; skip the deep order search
+        auto result = comp.compile(opts);
+        table.add(name, result.stats.heavy_fit,
+                  result.stats.heavy_per_layer, result.stats.max_plans,
+                  result.stats.max_fit_window, result.stats.n_ops);
+    }
+
+    table.print("Table 2: search-space complexity factors (b32 s2048)");
+    table.write_csv("table2_complexity");
+    return 0;
+}

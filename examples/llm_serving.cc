@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LLM serving scenario: compare all five designs (Basic, Static,
+ * Elk-Dyn, Elk-Full, Ideal) on decoding latency for a chosen model,
+ * like the paper's Fig. 17 but for a single configuration you can
+ * play with from the command line:
+ *
+ *   $ ./llm_serving [model] [batch] [seq]
+ *   $ ./llm_serving Llama2-70B 64 4096
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "elk/compiler.h"
+#include "graph/model_builder.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace elk;
+    std::string name = argc > 1 ? argv[1] : "Llama2-13B";
+    int batch = argc > 2 ? std::atoi(argv[2]) : 32;
+    int seq = argc > 3 ? std::atoi(argv[3]) : 2048;
+
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    graph::Graph model =
+        graph::build_decode_graph(graph::model_by_name(name), batch, seq);
+    std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
+                "HBM\n\n",
+                name.c_str(), batch, seq, chip.total_cores(),
+                chip.hbm_total_bw / 1e12);
+
+    compiler::Compiler compiler(model, chip);
+    util::Table table({"design", "latency(ms)", "tokens/s", "hbm_util",
+                       "noc_util", "TFLOPS", "noc_stall(ms)"});
+
+    sim::SimResult ideal;
+    for (auto mode :
+         {compiler::Mode::kBasic, compiler::Mode::kStatic,
+          compiler::Mode::kElkDyn, compiler::Mode::kElkFull,
+          compiler::Mode::kIdeal}) {
+        compiler::CompileOptions opts;
+        opts.mode = mode;
+        auto compiled = compiler.compile(opts);
+        sim::Machine machine(chip, mode == compiler::Mode::kIdeal);
+        auto run = runtime::run_plan(machine, model, compiled.plan,
+                                     compiler.context());
+        if (mode == compiler::Mode::kIdeal) {
+            ideal = run;
+        }
+        table.add(compiler::mode_name(mode),
+                  runtime::ms(run.total_time),
+                  static_cast<double>(batch) / run.total_time,
+                  runtime::pct(run.hbm_util),
+                  runtime::pct(run.noc_util), run.achieved_tflops,
+                  runtime::ms(run.interconnect_stall));
+    }
+    table.print("decode latency per design");
+    return 0;
+}

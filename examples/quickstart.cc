@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a model graph, compile it with Elk, inspect the
+ * device program, and measure it on the ICCA chip simulator.
+ *
+ *   $ ./quickstart
+ */
+#include <cstdio>
+
+#include "elk/compiler.h"
+#include "elk/device_program.h"
+#include "graph/model_builder.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+
+int
+main()
+{
+    using namespace elk;
+
+    // 1. Describe the target: a 4-chip IPU-POD4-class ICCA system
+    //    with 16 TB/s of HBM attached to the inter-core interconnect.
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    std::printf("Target: %d cores x %d chips, %.0f KB SRAM/core, "
+                "%.1f TB/s HBM, %s interconnect\n",
+                chip.cores_per_chip, chip.num_chips,
+                chip.sram_per_core / 1024.0, chip.hbm_total_bw / 1e12,
+                hw::topology_name(chip.topology).c_str());
+
+    // 2. Build the workload: one decoding step of Llama2-13B at batch
+    //    32 with a 2048-token KV cache.
+    graph::Graph model =
+        graph::build_decode_graph(graph::llama2_13b(), 32, 2048);
+    std::printf("Workload: %s, %d operators, %.1f GB from HBM per "
+                "token, %.1f GFLOP\n",
+                model.name().c_str(), model.size(),
+                model.total_hbm_bytes() / 1e9,
+                model.total_flops() / 1e9);
+
+    // 3. Compile with the full Elk pipeline: inductive scheduling,
+    //    cost-aware memory allocation, preload order permutation.
+    compiler::Compiler compiler(model, chip);
+    compiler::CompileOptions options;
+    options.mode = compiler::Mode::kElkFull;
+    compiler::CompileResult compiled = compiler.compile(options);
+    std::printf("\nCompiled in %.2f s (N=%d ops, P=%d plans/op, K=%d "
+                "fit on-chip, %d preload orders tested)\n",
+                compiled.compile_seconds, compiled.stats.n_ops,
+                compiled.stats.max_plans, compiled.stats.max_fit_window,
+                compiled.stats.orders_tested);
+
+    // 4. Peek at the abstract device program (§4.5 of the paper).
+    auto program = compiler::build_device_program(compiled.plan);
+    std::printf("\nDevice program head:\n");
+    compiler::DeviceProgram head(program.begin(), program.begin() + 8);
+    std::printf("%s...\n", compiler::to_string(head, model).c_str());
+
+    // 5. Execute on the simulator and report.
+    sim::Machine machine(chip);
+    sim::SimResult run =
+        runtime::run_plan(machine, model, compiled.plan,
+                          compiler.context());
+    std::printf("Result: %s\n", run.summary().c_str());
+    std::printf("  per-token latency : %s ms\n",
+                runtime::ms(run.total_time).c_str());
+    std::printf("  HBM utilization   : %s\n",
+                runtime::pct(run.hbm_util).c_str());
+    std::printf("  NoC utilization   : %s (preload %s, inter-core %s)\n",
+                runtime::pct(run.noc_util).c_str(),
+                runtime::pct(run.noc_util_preload).c_str(),
+                runtime::pct(run.noc_util_peer).c_str());
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include "cost/energy_model.h"
+
+namespace elk::cost {
+
+EnergyReport
+estimate_energy(const sim::SimProgram& program,
+                const sim::SimResult& result, const hw::ChipConfig& cfg,
+                double avg_hops, const EnergyParams& params)
+{
+    EnergyReport report;
+    const double pj = 1e-12;
+    for (const auto& op : program.ops) {
+        report.compute += op.flops * params.pj_per_flop * pj;
+
+        // SRAM traffic: every delivered, exchanged or streamed byte is
+        // written once and read once; compute reads its working set
+        // (approximated by the FLOP-to-byte ratio of the op's phase
+        // volumes, folded into delivered/fetched bytes here).
+        double sram_bytes = 2.0 * (op.delivery_bytes + op.fetch_bytes +
+                                   op.distribute_bytes +
+                                   op.exec_stream_dram);
+        report.sram += sram_bytes * params.pj_per_sram_byte * pj;
+
+        // NoC traffic: peer bytes travel avg_hops links; HBM delivery
+        // enters through one injection plus avg_hops/2 forwarding.
+        double peer_bytes = op.fetch_bytes + op.distribute_bytes;
+        double delivery = op.delivery_bytes + op.exec_stream_dram;
+        report.noc += (peer_bytes * avg_hops +
+                       delivery * (1.0 + avg_hops / 2.0)) *
+                      params.pj_per_noc_byte_hop * pj;
+
+        report.hbm += (op.dram_bytes + op.exec_stream_dram) *
+                      params.pj_per_hbm_byte * pj;
+    }
+    report.static_energy = params.static_watts_per_core *
+                           cfg.total_cores() * result.total_time;
+    return report;
+}
+
+}  // namespace elk::cost

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy model for ICCA chip executions (paper §7, "apply Elk to other
+ * optimization objectives": the performance cost model can be swapped
+ * for one that estimates power).
+ *
+ * Per-event energies follow the usual technology-survey constants:
+ * MAC energy per FLOP, SRAM access energy per byte, on-chip link
+ * energy per byte-hop, HBM access energy per byte, plus static leakage
+ * over the makespan. The model consumes the same plan/simulation
+ * artifacts as the performance path, so an energy-aware objective can
+ * reuse the whole compiler unchanged.
+ */
+#ifndef ELK_COST_ENERGY_MODEL_H
+#define ELK_COST_ENERGY_MODEL_H
+
+#include "graph/graph.h"
+#include "hw/chip_config.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace elk::cost {
+
+/// Technology constants (defaults: ~7 nm class accelerator numbers).
+struct EnergyParams {
+    double pj_per_flop = 0.4;        ///< MAC datapath energy.
+    double pj_per_sram_byte = 1.2;   ///< local scratchpad access.
+    double pj_per_noc_byte_hop = 2.0;///< inter-core link traversal.
+    double pj_per_hbm_byte = 60.0;   ///< off-chip DRAM access.
+    double static_watts_per_core = 0.08;  ///< leakage + clocking.
+};
+
+/// Energy breakdown of one simulated run (joules).
+struct EnergyReport {
+    double compute = 0.0;
+    double sram = 0.0;
+    double noc = 0.0;
+    double hbm = 0.0;
+    double static_energy = 0.0;
+
+    double
+    total() const
+    {
+        return compute + sram + noc + hbm + static_energy;
+    }
+
+    /// Average power over the run (watts).
+    double
+    average_power(double makespan) const
+    {
+        return makespan > 0 ? total() / makespan : 0.0;
+    }
+};
+
+/**
+ * Estimates the energy of executing @p program (its byte/FLOP volumes)
+ * with the measured makespan of @p result on @p cfg.
+ */
+EnergyReport estimate_energy(const sim::SimProgram& program,
+                             const sim::SimResult& result,
+                             const hw::ChipConfig& cfg,
+                             double avg_hops,
+                             const EnergyParams& params = EnergyParams());
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_ENERGY_MODEL_H

@@ -1,0 +1,82 @@
+#include "cost/exec_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elk::cost {
+
+double
+TileWork::flops() const
+{
+    graph::Operator tmp;
+    tmp.kind = kind;
+    tmp.m = rows;
+    tmp.n = n;
+    tmp.k = k;
+    graph::finalize_flops(tmp);
+    return tmp.flops;
+}
+
+double
+TileWork::bytes_touched() const
+{
+    double elems;
+    if (graph::uses_matmul_pipeline(kind)) {
+        elems = static_cast<double>(rows) * k +
+                static_cast<double>(k) * n +
+                static_cast<double>(rows) * n;
+    } else {
+        elems = 2.0 * rows * n;
+    }
+    return elems * dtype_bytes;
+}
+
+double
+matmul_pipeline_efficiency(long n, long k)
+{
+    // The AMP pipeline consumes k in chunks of 16 and produces n in
+    // chunks of 4; ragged remainders waste issue slots.
+    auto ragged = [](long d, long g) {
+        long padded = (d + g - 1) / g * g;
+        return static_cast<double>(d) / static_cast<double>(padded);
+    };
+    return ragged(k, 16) * ragged(n, 4);
+}
+
+double
+AnalyticExecCost::tile_time(const TileWork& tile,
+                            const hw::ChipConfig& cfg) const
+{
+    double rate = graph::uses_matmul_pipeline(tile.kind)
+                      ? cfg.core_matmul_flops
+                      : cfg.core_vector_flops;
+    double compute = tile.flops() / rate;
+    double feed = tile.bytes_touched() / cfg.sram_read_bw;
+    return std::max(compute, feed) + cfg.tile_launch_overhead_s;
+}
+
+double
+detailed_tile_time(const TileWork& tile, const hw::ChipConfig& cfg)
+{
+    const bool mm = graph::uses_matmul_pipeline(tile.kind);
+    double rate = mm ? cfg.core_matmul_flops : cfg.core_vector_flops;
+    if (mm) {
+        rate *= matmul_pipeline_efficiency(tile.n, tile.k);
+    }
+    double compute = tile.flops() / rate;
+    double feed = tile.bytes_touched() / cfg.sram_read_bw;
+
+    // Inner-loop restart cost per output row, larger for the reduction
+    // kinds that make two passes over each row.
+    double per_row = 4.0e-9;
+    if (tile.kind == graph::OpKind::kSoftmax ||
+        tile.kind == graph::OpKind::kLayerNorm) {
+        per_row = 9.0e-9;
+    }
+    double loop_overhead = per_row * static_cast<double>(tile.rows);
+
+    return std::max(compute, feed) + loop_overhead +
+           cfg.tile_launch_overhead_s;
+}
+
+}  // namespace elk::cost

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-core execution cost models.
+ *
+ * Two layers, mirroring the paper's methodology (§4.3, Fig. 12):
+ *
+ *  - detailed_tile_time(): the "hardware" behaviour used by the
+ *    simulator — includes pipeline-efficiency effects of tile shape
+ *    (alignment of the contraction/output dims to the MatMul pipeline
+ *    width), per-row loop overheads and the SRAM feed bound;
+ *  - AnalyticExecCost: the smooth estimate the compiler plans with;
+ *  - a fitted linear-tree model (cost/linear_tree.h) trained on
+ *    profiled tiles approximates the detailed model, reproducing the
+ *    paper's cost-model validation.
+ */
+#ifndef ELK_COST_EXEC_COST_H
+#define ELK_COST_EXEC_COST_H
+
+#include "graph/op.h"
+#include "hw/chip_config.h"
+
+namespace elk::cost {
+
+/// One core's share of an operator: rows x n output, k contracted.
+struct TileWork {
+    graph::OpKind kind = graph::OpKind::kElementwise;
+    long rows = 1;      ///< output rows computed by this core.
+    long n = 1;         ///< output columns.
+    long k = 1;         ///< contraction length (matmul-like only).
+    int dtype_bytes = 2;
+
+    /// FLOPs of this tile.
+    double flops() const;
+
+    /// Bytes the tile reads+writes from local SRAM.
+    double bytes_touched() const;
+};
+
+/// Interface the planner uses to estimate per-tile execution time.
+class ExecCostModel {
+  public:
+    virtual ~ExecCostModel() = default;
+
+    /// Estimated seconds for one core to execute @p tile.
+    virtual double tile_time(const TileWork& tile,
+                             const hw::ChipConfig& cfg) const = 0;
+};
+
+/// Smooth analytic estimate: max(flops/rate, bytes/sram_bw) + overhead.
+class AnalyticExecCost : public ExecCostModel {
+  public:
+    double tile_time(const TileWork& tile,
+                     const hw::ChipConfig& cfg) const override;
+};
+
+/**
+ * Detailed per-tile time with shape-dependent pipeline efficiency and
+ * loop overheads; the simulator's ground truth. Deterministic — the
+ * profiler adds measurement noise separately.
+ */
+double detailed_tile_time(const TileWork& tile, const hw::ChipConfig& cfg);
+
+/**
+ * Pipeline efficiency (0..1] of a matmul tile: fraction of peak the
+ * AMP pipeline achieves given dimension alignment to its native
+ * 16x(k) / 4x(n) granularity.
+ */
+double matmul_pipeline_efficiency(long n, long k);
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_EXEC_COST_H

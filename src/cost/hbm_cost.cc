@@ -1,0 +1,14 @@
+#include "cost/hbm_cost.h"
+
+namespace elk::cost {
+
+double
+hbm_load_time(double bytes, const hw::ChipConfig& cfg)
+{
+    if (bytes <= 0) {
+        return 0.0;
+    }
+    return cfg.hbm_access_latency_s + bytes / cfg.hbm_total_bw;
+}
+
+}  // namespace elk::cost

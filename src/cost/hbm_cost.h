@@ -1,0 +1,24 @@
+/**
+ * @file
+ * HBM access roofline (paper §4.2): an operator's preload duration is
+ * the maximum of the DRAM-side load time and the interconnect-side
+ * delivery time; this header provides the DRAM side.
+ */
+#ifndef ELK_COST_HBM_COST_H
+#define ELK_COST_HBM_COST_H
+
+#include "hw/chip_config.h"
+
+namespace elk::cost {
+
+/**
+ * Seconds for the HBM modules of the whole system to read @p bytes
+ * (unique bytes; broadcast replication costs interconnect time, not
+ * DRAM time). Tensors are sliced evenly across channels (paper §5), so
+ * the aggregate bandwidth applies once the access latency is paid.
+ */
+double hbm_load_time(double bytes, const hw::ChipConfig& cfg);
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_HBM_COST_H

@@ -1,0 +1,193 @@
+#include "cost/linear_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace elk::cost {
+
+namespace {
+
+/// Gaussian elimination with partial pivoting; a is n x (n+1) augmented.
+std::vector<double>
+solve(std::vector<std::vector<double>> a)
+{
+    const size_t n = a.size();
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) {
+                pivot = r;
+            }
+        }
+        std::swap(a[col], a[pivot]);
+        double diag = a[col][col];
+        if (std::fabs(diag) < 1e-300) {
+            continue;  // singular direction; ridge term normally avoids
+        }
+        for (size_t r = 0; r < n; ++r) {
+            if (r == col) {
+                continue;
+            }
+            double f = a[r][col] / diag;
+            for (size_t c = col; c <= n; ++c) {
+                a[r][c] -= f * a[col][c];
+            }
+        }
+    }
+    std::vector<double> w(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        w[i] = std::fabs(a[i][i]) < 1e-300 ? 0.0 : a[i][n] / a[i][i];
+    }
+    return w;
+}
+
+double
+sse_of(const std::vector<std::vector<double>>& x,
+       const std::vector<double>& y, const std::vector<int>& idx,
+       const std::vector<double>& w)
+{
+    double sse = 0.0;
+    for (int i : idx) {
+        double e = eval_linear(w, x[i]) - y[i];
+        sse += e * e;
+    }
+    return sse;
+}
+
+}  // namespace
+
+std::vector<double>
+fit_linear(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, const std::vector<int>& idx,
+           double ridge)
+{
+    util::check(!idx.empty(), "fit_linear: empty index set");
+    const size_t d = x[idx[0]].size() + 1;  // + bias
+    std::vector<std::vector<double>> a(d, std::vector<double>(d + 1, 0.0));
+    auto feat = [&](int row, size_t j) {
+        return j + 1 == d ? 1.0 : x[row][j];
+    };
+    for (int i : idx) {
+        for (size_t r = 0; r < d; ++r) {
+            double fr = feat(i, r);
+            for (size_t c = 0; c < d; ++c) {
+                a[r][c] += fr * feat(i, c);
+            }
+            a[r][d] += fr * y[i];
+        }
+    }
+    for (size_t r = 0; r < d; ++r) {
+        a[r][r] += ridge;
+    }
+    return solve(std::move(a));
+}
+
+double
+eval_linear(const std::vector<double>& weights, const std::vector<double>& x)
+{
+    util::check(weights.size() == x.size() + 1, "eval_linear: dim mismatch");
+    double v = weights.back();
+    for (size_t i = 0; i < x.size(); ++i) {
+        v += weights[i] * x[i];
+    }
+    return v;
+}
+
+void
+LinearTreeModel::fit(const std::vector<std::vector<double>>& x,
+                     const std::vector<double>& y, const Options& opts)
+{
+    util::check(x.size() == y.size(), "LinearTreeModel::fit: size mismatch");
+    util::check(!x.empty(), "LinearTreeModel::fit: no samples");
+    nodes_.clear();
+    dim_ = x[0].size();
+    std::vector<int> idx(x.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    root_ = build(x, y, idx, 0, opts);
+}
+
+int
+LinearTreeModel::build(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y,
+                       const std::vector<int>& idx, int depth,
+                       const Options& opts)
+{
+    Node node;
+    node.weights = fit_linear(x, y, idx, opts.ridge);
+    double base_sse = sse_of(x, y, idx, node.weights);
+
+    if (depth < opts.max_depth &&
+        static_cast<int>(idx.size()) >= opts.min_samples &&
+        base_sse > 0.0) {
+        double best_gain = 0.0;
+        int best_feature = -1;
+        double best_threshold = 0.0;
+        std::vector<int> best_l, best_r;
+        for (size_t f = 0; f < dim_; ++f) {
+            // Candidate thresholds at the quartiles of this feature.
+            std::vector<double> vals;
+            vals.reserve(idx.size());
+            for (int i : idx) {
+                vals.push_back(x[i][f]);
+            }
+            std::sort(vals.begin(), vals.end());
+            for (double q : {0.25, 0.5, 0.75}) {
+                double thr = vals[static_cast<size_t>(q * (vals.size() - 1))];
+                std::vector<int> l, r;
+                for (int i : idx) {
+                    (x[i][f] <= thr ? l : r).push_back(i);
+                }
+                if (static_cast<int>(l.size()) < opts.min_samples / 2 ||
+                    static_cast<int>(r.size()) < opts.min_samples / 2) {
+                    continue;
+                }
+                auto wl = fit_linear(x, y, l, opts.ridge);
+                auto wr = fit_linear(x, y, r, opts.ridge);
+                double gain =
+                    base_sse - sse_of(x, y, l, wl) - sse_of(x, y, r, wr);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_feature = static_cast<int>(f);
+                    best_threshold = thr;
+                    best_l = std::move(l);
+                    best_r = std::move(r);
+                }
+            }
+        }
+        if (best_feature >= 0 && best_gain > 1e-3 * base_sse) {
+            node.feature = best_feature;
+            node.threshold = best_threshold;
+            int self = static_cast<int>(nodes_.size());
+            nodes_.push_back(node);
+            int left = build(x, y, best_l, depth + 1, opts);
+            int right = build(x, y, best_r, depth + 1, opts);
+            nodes_[self].left = left;
+            nodes_[self].right = right;
+            return self;
+        }
+    }
+
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+double
+LinearTreeModel::predict(const std::vector<double>& x) const
+{
+    if (root_ < 0) {
+        return 0.0;
+    }
+    util::check(x.size() == dim_, "LinearTreeModel::predict: dim mismatch");
+    int cur = root_;
+    while (nodes_[cur].feature >= 0) {
+        cur = x[nodes_[cur].feature] <= nodes_[cur].threshold
+                  ? nodes_[cur].left
+                  : nodes_[cur].right;
+    }
+    return eval_linear(nodes_[cur].weights, x);
+}
+
+}  // namespace elk::cost

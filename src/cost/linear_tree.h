@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Linear tree regressor: a shallow decision tree whose leaves hold
+ * ridge-regularized linear models. This is the model family the paper
+ * fits to profiled tile execution times and per-link transfer times
+ * (§4.3, "we fit a linear tree model using the tile shapes as inputs
+ * and the profiled execution times as outputs").
+ */
+#ifndef ELK_COST_LINEAR_TREE_H
+#define ELK_COST_LINEAR_TREE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace elk::cost {
+
+/// Shallow regression tree with linear leaf models.
+class LinearTreeModel {
+  public:
+    /// Training hyperparameters.
+    struct Options {
+        int max_depth = 4;      ///< tree depth limit.
+        int min_samples = 24;   ///< minimum samples to attempt a split.
+        double ridge = 1e-9;    ///< L2 regularization of leaf models.
+    };
+
+    /**
+     * Fits the model on feature rows @p x (equal lengths) and targets
+     * @p y. Replaces any previous fit.
+     */
+    void fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, const Options& opts);
+
+    /// fit() with default options.
+    void
+    fit(const std::vector<std::vector<double>>& x,
+        const std::vector<double>& y)
+    {
+        fit(x, y, Options());
+    }
+
+    /// Predicts the target for one feature row; 0 before training.
+    double predict(const std::vector<double>& x) const;
+
+    /// True once fit() succeeded.
+    bool trained() const { return root_ >= 0; }
+
+    /// Number of tree nodes (diagnostics).
+    size_t num_nodes() const { return nodes_.size(); }
+
+  private:
+    struct Node {
+        int feature = -1;   ///< split feature; -1 for a leaf.
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+        std::vector<double> weights;  ///< leaf model (bias last).
+    };
+
+    int build(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y,
+              const std::vector<int>& idx, int depth, const Options& opts);
+
+    std::vector<Node> nodes_;
+    int root_ = -1;
+    size_t dim_ = 0;
+};
+
+/**
+ * Solves the ridge regression (X^T X + ridge I) w = X^T y for rows of
+ * @p x restricted to @p idx, with an implicit trailing bias feature.
+ * Exposed for testing.
+ */
+std::vector<double> fit_linear(const std::vector<std::vector<double>>& x,
+                               const std::vector<double>& y,
+                               const std::vector<int>& idx, double ridge);
+
+/// Evaluates a linear model (bias last) on a feature row.
+double eval_linear(const std::vector<double>& weights,
+                   const std::vector<double>& x);
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_LINEAR_TREE_H

@@ -1,0 +1,129 @@
+#include "cost/profiler.h"
+
+#include <cmath>
+#include <random>
+
+#include "cost/transfer_cost.h"
+#include "util/logging.h"
+
+namespace elk::cost {
+
+std::vector<double>
+tile_features(const TileWork& tile)
+{
+    double rows = static_cast<double>(tile.rows);
+    double n = static_cast<double>(tile.n);
+    double k = static_cast<double>(tile.k);
+    return {
+        rows,
+        n,
+        k,
+        tile.flops(),
+        tile.bytes_touched(),
+        rows * n,
+    };
+}
+
+std::vector<ProfiledSample>
+profile_tiles(graph::OpKind kind, int count, const hw::ChipConfig& cfg,
+              unsigned seed, double noise_sigma)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> log_rows(0.0, 8.0);
+    std::uniform_real_distribution<double> log_n(2.0, 12.0);
+    std::uniform_real_distribution<double> log_k(4.0, 12.0);
+    std::normal_distribution<double> noise(0.0, noise_sigma);
+
+    std::vector<ProfiledSample> samples;
+    samples.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        TileWork tile;
+        tile.kind = kind;
+        tile.rows = static_cast<long>(std::exp2(log_rows(rng)));
+        tile.n = static_cast<long>(std::exp2(log_n(rng)));
+        tile.k = graph::uses_matmul_pipeline(kind)
+                     ? static_cast<long>(std::exp2(log_k(rng)))
+                     : 1;
+        // Keep the tile inside one core's SRAM.
+        while (tile.bytes_touched() >
+               static_cast<double>(cfg.usable_sram_per_core())) {
+            if (tile.n > 4) {
+                tile.n /= 2;
+            } else if (tile.k > 16) {
+                tile.k /= 2;
+            } else {
+                tile.rows = std::max(1L, tile.rows / 2);
+            }
+        }
+        ProfiledSample s;
+        s.tile = tile;
+        s.measured =
+            detailed_tile_time(tile, cfg) * std::exp(noise(rng));
+        samples.push_back(s);
+    }
+    return samples;
+}
+
+std::vector<std::pair<double, double>>
+profile_transfers(int count, const hw::ChipConfig& cfg, unsigned seed,
+                  double noise_sigma)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> log_bytes(8.0, 19.0);  // 256B..512KB
+    std::normal_distribution<double> noise(0.0, noise_sigma);
+    std::vector<std::pair<double, double>> samples;
+    samples.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        double bytes = std::exp2(log_bytes(rng));
+        double t = inter_core_transfer_time(bytes, cfg) *
+                   std::exp(noise(rng));
+        samples.emplace_back(bytes, t);
+    }
+    return samples;
+}
+
+FittedExecCost
+FittedExecCost::train(const hw::ChipConfig& cfg, int samples_per_kind,
+                      unsigned seed)
+{
+    FittedExecCost fitted;
+    for (graph::OpKind kind :
+         {graph::OpKind::kMatMul, graph::OpKind::kBatchMatMul,
+          graph::OpKind::kElementwise, graph::OpKind::kSoftmax,
+          graph::OpKind::kLayerNorm, graph::OpKind::kEmbedding}) {
+        auto samples = profile_tiles(kind, samples_per_kind, cfg,
+                                     seed + static_cast<unsigned>(kind));
+        std::vector<std::vector<double>> x;
+        std::vector<double> y;
+        x.reserve(samples.size());
+        y.reserve(samples.size());
+        for (const auto& s : samples) {
+            x.push_back(tile_features(s.tile));
+            y.push_back(s.measured);
+        }
+        fitted.models_[kind].fit(x, y);
+    }
+    return fitted;
+}
+
+double
+FittedExecCost::tile_time(const TileWork& tile,
+                          const hw::ChipConfig& cfg) const
+{
+    auto it = models_.find(tile.kind);
+    util::check(it != models_.end(), "FittedExecCost: kind not trained");
+    double t = it->second.predict(tile_features(tile));
+    // A fitted model can mildly extrapolate below zero; clamp to the
+    // launch overhead floor.
+    return std::max(t, cfg.tile_launch_overhead_s);
+}
+
+const LinearTreeModel&
+FittedExecCost::model(graph::OpKind kind) const
+{
+    auto it = models_.find(kind);
+    util::check(it != models_.end(), "FittedExecCost: kind not trained");
+    return it->second;
+}
+
+}  // namespace elk::cost

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tile profiler and fitted cost model (paper §4.3, Fig. 12).
+ *
+ * The paper profiles randomly shaped tiles on the target device and
+ * fits a linear-tree model per operator type, plus a per-link model
+ * for inter-core transfers. Our "target device" is the detailed tile
+ * model the simulator executes; profiling adds multiplicative
+ * measurement noise so the fit faces a realistic task.
+ */
+#ifndef ELK_COST_PROFILER_H
+#define ELK_COST_PROFILER_H
+
+#include <map>
+#include <vector>
+
+#include "cost/exec_cost.h"
+#include "cost/linear_tree.h"
+#include "hw/chip_config.h"
+
+namespace elk::cost {
+
+/// One profiled tile: shape plus its (noisy) measured time.
+struct ProfiledSample {
+    TileWork tile;
+    double measured = 0.0;
+};
+
+/// Feature extraction used for both fitting and prediction.
+std::vector<double> tile_features(const TileWork& tile);
+
+/**
+ * Profiles @p count random tiles of @p kind on @p cfg's core, applying
+ * lognormal measurement noise of relative sigma @p noise_sigma.
+ */
+std::vector<ProfiledSample> profile_tiles(graph::OpKind kind, int count,
+                                          const hw::ChipConfig& cfg,
+                                          unsigned seed,
+                                          double noise_sigma = 0.03);
+
+/**
+ * Profiles inter-core transfers of random sizes; returns pairs of
+ * (bytes, measured seconds).
+ */
+std::vector<std::pair<double, double>> profile_transfers(
+    int count, const hw::ChipConfig& cfg, unsigned seed,
+    double noise_sigma = 0.03);
+
+/**
+ * Per-operator-kind fitted cost model, usable by the planner in place
+ * of the analytic model.
+ */
+class FittedExecCost : public ExecCostModel {
+  public:
+    /// Fits one linear-tree per operator kind from profiled samples.
+    static FittedExecCost train(const hw::ChipConfig& cfg,
+                                int samples_per_kind = 400,
+                                unsigned seed = 7);
+
+    double tile_time(const TileWork& tile,
+                     const hw::ChipConfig& cfg) const override;
+
+    /// Access the per-kind model (testing / reporting).
+    const LinearTreeModel& model(graph::OpKind kind) const;
+
+  private:
+    std::map<graph::OpKind, LinearTreeModel> models_;
+};
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_PROFILER_H

@@ -1,0 +1,26 @@
+#include "cost/transfer_cost.h"
+
+#include <cmath>
+
+namespace elk::cost {
+
+double
+link_transfer_time(double bytes, double bw, double latency,
+                   uint64_t granularity)
+{
+    if (bytes <= 0) {
+        return 0.0;
+    }
+    double messages = std::ceil(bytes / static_cast<double>(granularity));
+    return latency + bytes / bw + messages * kPerMessageOverheadS;
+}
+
+double
+inter_core_transfer_time(double bytes, const hw::ChipConfig& cfg)
+{
+    return link_transfer_time(bytes, cfg.inter_core_link_bw,
+                              cfg.link_latency_s,
+                              cfg.transfer_buffer_per_core);
+}
+
+}  // namespace elk::cost

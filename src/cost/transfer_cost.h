@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Inter-core and HBM transfer cost helpers shared by the planner and
+ * the simulator. Transfers are staged through the per-core 8 KB
+ * transfer buffer (paper §5), so a transfer pays a per-message
+ * overhead every buffer flush in addition to the bandwidth term.
+ */
+#ifndef ELK_COST_TRANSFER_COST_H
+#define ELK_COST_TRANSFER_COST_H
+
+#include <cstdint>
+
+#include "hw/chip_config.h"
+
+namespace elk::cost {
+
+/// Per-message (buffer flush / handshake) overhead on the interconnect.
+constexpr double kPerMessageOverheadS = 0.4e-6;
+
+/**
+ * Seconds to move @p bytes across one link of @p bw bytes/s with
+ * one-way latency @p latency, staged in @p granularity-byte messages.
+ */
+double link_transfer_time(double bytes, double bw, double latency,
+                          uint64_t granularity);
+
+/// Convenience using the chip's inter-core link and transfer buffer.
+double inter_core_transfer_time(double bytes, const hw::ChipConfig& cfg);
+
+}  // namespace elk::cost
+
+#endif  // ELK_COST_TRANSFER_COST_H

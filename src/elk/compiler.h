@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Elk compiler facade (paper Fig. 9): owns the hardware analysis,
+ * the plan library and the scheduling passes, and produces execution
+ * plans for the Elk designs and the evaluation baselines of §6.1:
+ *
+ *  - Basic:    maximize execution space, preload only the next op;
+ *  - Static:   T10-extended — fixed preload/execution split, best
+ *              static sizes searched offline;
+ *  - Elk-Dyn:  inductive scheduling + cost-aware allocation (§4.2-4.3);
+ *  - Elk-Full: Elk-Dyn plus preload order permutation (§4.4);
+ *  - Ideal:    the §6.1 roofline (run it on an ideal split-fabric
+ *              Machine).
+ */
+#ifndef ELK_ELK_COMPILER_H
+#define ELK_ELK_COMPILER_H
+
+#include <memory>
+#include <string>
+
+#include "cost/exec_cost.h"
+#include "elk/schedule_ir.h"
+#include "hw/chip_config.h"
+#include "hw/topology.h"
+#include "hw/traffic.h"
+#include "sim/machine.h"
+
+namespace elk::compiler {
+
+/// Compilation designs (paper §6.1).
+enum class Mode { kBasic, kStatic, kElkDyn, kElkFull, kIdeal };
+
+/// Human-readable mode name as used in the paper's figures.
+std::string mode_name(Mode mode);
+
+/// Compiler knobs.
+struct CompileOptions {
+    Mode mode = Mode::kElkFull;
+    /// Cap on simultaneously live preloads the scheduler explores.
+    int max_window = 28;
+    /// Maximum candidate preload orders evaluated (Elk-Full).
+    int max_orders = 96;
+    /// Layers of the model used to score candidate orders before the
+    /// winner is scheduled on the full model (compile-time pruning).
+    int score_layers = 2;
+    /// Static mode only: fixed per-core preload-region size in bytes;
+    /// 0 searches the best static size offline (§6.1).
+    uint64_t static_region = 0;
+};
+
+/// Search-space statistics (paper Table 2) gathered during compile.
+struct SearchStats {
+    int n_ops = 0;          ///< N.
+    int max_plans = 0;      ///< P.
+    int max_fit_window = 0; ///< K.
+    int heavy_per_layer = 0;///< H.
+    int heavy_fit = 0;      ///< C.
+    int orders_tested = 0;  ///< candidate preload orders evaluated.
+};
+
+/// Result of one compilation.
+struct CompileResult {
+    ExecutionPlan plan;
+    SearchStats stats;
+    double compile_seconds = 0.0;
+};
+
+/// The compiler; one instance per (graph, chip) pair.
+class Compiler {
+  public:
+    /**
+     * Builds hardware analysis and the plan library. @p cost_model
+     * overrides the planner's execution cost model (default: the
+     * analytic model); the pointer must outlive the compiler.
+     */
+    Compiler(const graph::Graph& graph, const hw::ChipConfig& cfg,
+             const cost::ExecCostModel* cost_model = nullptr);
+
+    /// Compiles an execution plan for the requested design.
+    CompileResult compile(const CompileOptions& opts = {}) const;
+
+    /// Plan library (Table 2 statistics, tests).
+    const PlanLibrary& library() const { return *library_; }
+
+    /// Plan context (for lowering to the simulator).
+    const plan::PlanContext& context() const { return ctx_; }
+
+    /// The paper's K for this graph: the longest run of consecutive
+    /// operators whose minimum preload spaces fit on-chip together.
+    int max_fit_window() const;
+
+  private:
+    /// Lazily built simulator machine used for offline tuning (Static
+    /// size search, §4.4 candidate-order performance estimation).
+    const sim::Machine& tuning_machine() const;
+    ExecutionPlan compile_basic() const;
+    ExecutionPlan compile_static(const CompileOptions& opts) const;
+    ExecutionPlan compile_elk(const CompileOptions& opts,
+                              SearchStats* stats) const;
+
+    const graph::Graph& graph_;
+    hw::ChipConfig cfg_;
+    std::unique_ptr<hw::Topology> topo_;
+    std::unique_ptr<hw::TrafficModel> traffic_;
+    std::unique_ptr<cost::ExecCostModel> owned_cost_;
+    plan::PlanContext ctx_;
+    std::unique_ptr<PlanLibrary> library_;
+    mutable std::unique_ptr<sim::Machine> machine_;
+};
+
+}  // namespace elk::compiler
+
+#endif  // ELK_ELK_COMPILER_H

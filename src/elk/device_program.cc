@@ -1,0 +1,48 @@
+#include "elk/device_program.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace elk::compiler {
+
+DeviceProgram
+build_device_program(const ExecutionPlan& plan)
+{
+    DeviceProgram program;
+    const int n = static_cast<int>(plan.ops.size());
+    size_t r = 0;
+    for (int slot = 0; slot <= n; ++slot) {
+        while (r < plan.preload_order.size() &&
+               plan.issue_slot[r] == slot) {
+            program.push_back({DeviceInstr::Kind::kPreloadAsync,
+                               plan.preload_order[r]});
+            ++r;
+        }
+        if (slot < n) {
+            program.push_back({DeviceInstr::Kind::kExecute, slot});
+        }
+    }
+    util::check(r == plan.preload_order.size(),
+                "build_device_program: unissued preloads remain");
+    return program;
+}
+
+std::string
+to_string(const DeviceProgram& program, const graph::Graph& graph)
+{
+    std::ostringstream out;
+    for (const auto& instr : program) {
+        const auto& op = graph.op(instr.op_id);
+        if (instr.kind == DeviceInstr::Kind::kPreloadAsync) {
+            out << "preload_async(op=" << instr.op_id << ")  // "
+                << op.name << "\n";
+        } else {
+            out << "execute(op=" << instr.op_id << ")        // "
+                << op.name << "\n";
+        }
+    }
+    return out.str();
+}
+
+}  // namespace elk::compiler

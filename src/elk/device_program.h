@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The abstract device programming model (paper §4.5, Fig. 15): a
+ * linear program of preload_async(op) and execute(op) calls whose
+ * one-way synchronization rules the hardware (here: the simulator
+ * engine) enforces. Also provides a printable listing used by docs
+ * and examples.
+ */
+#ifndef ELK_ELK_DEVICE_PROGRAM_H
+#define ELK_ELK_DEVICE_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "elk/schedule_ir.h"
+
+namespace elk::compiler {
+
+/// One device call.
+struct DeviceInstr {
+    enum class Kind { kPreloadAsync, kExecute };
+    Kind kind = Kind::kExecute;
+    int op_id = -1;
+};
+
+/// Linear device program in issue order.
+using DeviceProgram = std::vector<DeviceInstr>;
+
+/**
+ * Lowers an ExecutionPlan to the device call sequence: for each
+ * execute slot, the preload_asyncs issued before it, then the execute.
+ */
+DeviceProgram build_device_program(const ExecutionPlan& plan);
+
+/// Pretty-prints a program (operator names resolved via @p graph).
+std::string to_string(const DeviceProgram& program,
+                      const graph::Graph& graph);
+
+}  // namespace elk::compiler
+
+#endif  // ELK_ELK_DEVICE_PROGRAM_H

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The Ideal roofline design (paper §6.1): dedicated interconnects for
+ * preload and execution (no fabric contention), full-sized on-chip
+ * memory for every operator's execution space, minimum preload spaces
+ * (maximum preload depth), and a zero-latency data-distribution phase.
+ */
+#ifndef ELK_ELK_IDEAL_H
+#define ELK_ELK_IDEAL_H
+
+#include "elk/schedule_ir.h"
+
+namespace elk::compiler {
+
+/**
+ * Builds the Ideal execution plan: every operator takes its fastest
+ * execute-state plan ignoring the SRAM budget shared with preloads,
+ * preloads stream continuously from program start (issue slot 0), and
+ * distribution is free. Run it on a Machine constructed with
+ * ideal_split_fabric = true.
+ */
+ExecutionPlan build_ideal_plan(const PlanLibrary& library);
+
+}  // namespace elk::compiler
+
+#endif  // ELK_ELK_IDEAL_H

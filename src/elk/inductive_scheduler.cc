@@ -1,0 +1,252 @@
+#include "elk/inductive_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cost/hbm_cost.h"
+#include "util/logging.h"
+
+namespace elk::compiler {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Weighted-cost starting index on a preload front.
+int
+policy_start(const std::vector<plan::PreloadPlan>& front, double weight)
+{
+    int best = 0;
+    double best_cost = front[0].distribute_time +
+                       weight * front[0].delivery_overhead_time;
+    for (int i = 1; i < static_cast<int>(front.size()); ++i) {
+        double cost = front[i].distribute_time +
+                      weight * front[i].delivery_overhead_time;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+double
+InductiveScheduler::preload_duration(int op_id,
+                                     const plan::PreloadPlan& preload) const
+{
+    const plan::PlanContext& ctx = library_.context();
+    const graph::Operator& op = library_.graph().op(op_id);
+    if (op.hbm_bytes() == 0) {
+        return 0.0;
+    }
+    double dram = cost::hbm_load_time(
+        static_cast<double>(op.hbm_bytes()) * preload.dram_fraction,
+        *ctx.cfg);
+    double delivery_capacity =
+        ctx.traffic->hbm_delivery_capacity() * ctx.cfg->num_chips;
+    double delivery = preload.noc_delivery_bytes / delivery_capacity;
+    return std::max(dram, delivery);
+}
+
+std::optional<ExecutionPlan>
+InductiveScheduler::schedule_in_order(const ScheduleOptions& opts) const
+{
+    std::vector<int> order(library_.graph().size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+    }
+    return schedule(order, opts);
+}
+
+std::optional<ExecutionPlan>
+InductiveScheduler::schedule(const std::vector<int>& preload_order,
+                             const ScheduleOptions& opts) const
+{
+    const graph::Graph& graph = library_.graph();
+    const plan::PlanContext& ctx = library_.context();
+    const uint64_t budget = ctx.sram_budget();
+    const int n = graph.size();
+    util::check(static_cast<int>(preload_order.size()) == n,
+                "schedule: preload order must cover all operators");
+
+    // Optional truncation for cheap candidate-order scoring (§4.4).
+    const int m =
+        opts.limit_ops > 0 ? std::min(opts.limit_ops, n) : n;
+    std::vector<int> order;
+    order.reserve(m);
+    for (int op : preload_order) {
+        if (op < m) {
+            order.push_back(op);
+        }
+    }
+
+    // Position of each operator in the preload order.
+    std::vector<int> pos(m);
+    for (int r = 0; r < m; ++r) {
+        pos[order[r]] = r;
+    }
+    // lo[i]: minimum frontier before execute(i) — every operator that
+    // executes at or before i must already be issued.
+    std::vector<int> lo(m);
+    int running = -1;
+    for (int i = 0; i < m; ++i) {
+        running = std::max(running, pos[i]);
+        lo[i] = running + 1;
+    }
+
+    // --- backward induction state ---
+    std::vector<int> exec_choice(m, 0);
+    std::vector<int> preload_choice(m, 0);  // tightening-only floor
+    std::vector<double> t_exe_start(m, 0.0);
+    std::vector<double> t_pre_start(m, 0.0);  // by position
+    std::vector<int> slot_of_pos(m, 0);
+    int frontier_next = m;  // F_{i+1} of the step being processed
+
+    // Scratch buffers reused across candidates.
+    std::vector<int> live, live_exec, live_floor;
+    std::vector<double> chain;
+
+    for (int i = m - 1; i >= 0; --i) {
+        if (lo[i] > frontier_next) {
+            return std::nullopt;  // order forces issue after own execute
+        }
+
+        double best_start = -kInf;
+        int best_frontier = -1;
+        AllocationChoice best_alloc;
+        std::vector<int> best_live;
+        std::vector<double> best_chain;
+
+        for (int frontier = lo[i]; frontier <= frontier_next; ++frontier) {
+            // Live set: issued before execute(i), not yet executed.
+            live.clear();
+            live_exec.clear();
+            live_floor.clear();
+            for (int r = 0; r < frontier; ++r) {
+                int j = order[r];
+                if (j > i) {
+                    live.push_back(j);
+                    live_exec.push_back(exec_choice[j]);
+                    live_floor.push_back(std::max(
+                        preload_choice[j],
+                        policy_start(library_.preload_plans(
+                                         j, exec_choice[j]),
+                                     opts.overhead_weight)));
+                }
+            }
+            if (static_cast<int>(live.size()) > opts.max_window) {
+                break;
+            }
+            AllocationChoice alloc = allocator_.allocate(
+                i, live, live_exec, live_floor, budget);
+            if (!alloc.feasible) {
+                break;  // larger frontiers only add live operators
+            }
+
+            // ALAP preload chain for positions [frontier, F_{i+1}).
+            double next_start =
+                frontier_next < m ? t_pre_start[frontier_next] : kInf;
+            chain.assign(frontier_next - frontier, 0.0);
+            for (int r = frontier_next - 1; r >= frontier; --r) {
+                int j = order[r];
+                const auto& pre_front =
+                    library_.preload_plans(j, exec_choice[j]);
+                double d =
+                    preload_duration(j, pre_front[preload_choice[j]]);
+                double start =
+                    std::min(next_start, t_exe_start[j]) - d;
+                chain[r - frontier] = start;
+                next_start = start;
+            }
+
+            double exec_end_bound =
+                i + 1 < m ? t_exe_start[i + 1] : 0.0;
+            double exec_end = std::min(exec_end_bound, next_start);
+            // The operator's own data-distribution phase runs on its
+            // execute critical path; price it with the preload plan
+            // this policy would anchor (later steps may still tighten
+            // it under memory pressure).
+            const auto& own_cand_front =
+                library_.preload_plans(i, alloc.exec_idx);
+            double own_dist =
+                own_cand_front[policy_start(own_cand_front,
+                                            opts.overhead_weight)]
+                    .distribute_time;
+            double cand_start =
+                exec_end - (alloc.exec_time + own_dist);
+            // Ties favor the larger frontier: preloading further ahead
+            // is free when memory allows and absorbs timing jitter the
+            // estimate cannot see (e.g., per-op HBM access latency).
+            if (cand_start >= best_start) {
+                best_start = cand_start;
+                best_frontier = frontier;
+                best_alloc = alloc;
+                best_live = live;
+                best_chain = chain;
+            }
+        }
+
+        if (best_frontier < 0) {
+            return std::nullopt;  // no feasible frontier: invalid order
+        }
+
+        // Commit the winning frontier.
+        exec_choice[i] = best_alloc.exec_idx;
+        preload_choice[i] = policy_start(
+            library_.preload_plans(i, exec_choice[i]),
+            opts.overhead_weight);
+        t_exe_start[i] = best_start;
+        for (size_t jj = 0; jj < best_live.size(); ++jj) {
+            int j = best_live[jj];
+            preload_choice[j] =
+                std::max(preload_choice[j], best_alloc.preload_idx[jj]);
+        }
+        for (int r = best_frontier; r < frontier_next; ++r) {
+            t_pre_start[r] = best_chain[r - best_frontier];
+            slot_of_pos[r] = i + 1;
+        }
+        frontier_next = best_frontier;
+    }
+
+    // Positions before the final frontier are issued before execute(0).
+    {
+        double next_start =
+            frontier_next < m ? t_pre_start[frontier_next] : kInf;
+        for (int r = frontier_next - 1; r >= 0; --r) {
+            int j = order[r];
+            const auto& pre_front =
+                library_.preload_plans(j, exec_choice[j]);
+            double d = preload_duration(j, pre_front[preload_choice[j]]);
+            double start = std::min(next_start, t_exe_start[j]) - d;
+            t_pre_start[r] = start;
+            slot_of_pos[r] = 0;
+            next_start = start;
+        }
+    }
+
+    // --- assemble the plan ---
+    ExecutionPlan plan;
+    plan.ops.resize(m);
+    for (int i = 0; i < m; ++i) {
+        OpSchedule& sched = plan.ops[i];
+        sched.op_id = i;
+        sched.exec = library_.exec_plans(i)[exec_choice[i]];
+        const auto& pre_front = library_.preload_plans(i, exec_choice[i]);
+        sched.preload = pre_front[std::min<int>(
+            preload_choice[i], static_cast<int>(pre_front.size()) - 1)];
+        sched.est_exec_time = sched.exec.exec_time;
+        sched.est_preload_time = preload_duration(i, sched.preload);
+    }
+    plan.preload_order = order;
+    plan.issue_slot.resize(m);
+    for (int r = 0; r < m; ++r) {
+        plan.issue_slot[r] = slot_of_pos[r];
+    }
+    double t_begin = m > 0 ? std::min(t_exe_start[0], t_pre_start[0]) : 0.0;
+    plan.est_total_time = -t_begin;
+    return plan;
+}
+
+}  // namespace elk::compiler

@@ -1,0 +1,102 @@
+#include "elk/memory_allocator.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace elk::compiler {
+
+AllocationChoice
+MemoryAllocator::allocate(int current_op, const std::vector<int>& live_ops,
+                          const std::vector<int>& live_exec_idx,
+                          const std::vector<int>& live_floor_idx,
+                          uint64_t budget) const
+{
+    util::check(live_ops.size() == live_exec_idx.size() &&
+                    live_ops.size() == live_floor_idx.size(),
+                "MemoryAllocator: request size mismatch");
+
+    const auto& exec_front = library_.exec_plans(current_op);
+    AllocationChoice choice;
+    choice.exec_idx = 0;
+    choice.preload_idx = live_floor_idx;
+
+    // Total footprint of the current selection.
+    auto preload_front = [&](size_t j) -> const auto& {
+        return library_.preload_plans(live_ops[j], live_exec_idx[j]);
+    };
+    auto total_space = [&] {
+        uint64_t space = exec_front[choice.exec_idx].exec_space;
+        for (size_t j = 0; j < live_ops.size(); ++j) {
+            space += preload_front(j)[choice.preload_idx[j]].preload_space;
+        }
+        return space;
+    };
+
+    uint64_t space = total_space();
+    while (space > budget) {
+        // Candidate downgrades: current op's next exec plan, or any
+        // live op's next preload plan. Pick max freed-space/added-time.
+        double best_delta = -1.0;
+        int best_kind = -1;  // 0 = exec plan, 1 = preload plan
+        size_t best_j = 0;
+
+        if (choice.exec_idx + 1 < static_cast<int>(exec_front.size())) {
+            const auto& cur = exec_front[choice.exec_idx];
+            const auto& nxt = exec_front[choice.exec_idx + 1];
+            double freed = static_cast<double>(cur.exec_space) -
+                           static_cast<double>(nxt.exec_space);
+            double added = nxt.time_cost() - cur.time_cost();
+            double delta = added <= 0
+                               ? std::numeric_limits<double>::infinity()
+                               : freed / added;
+            if (delta > best_delta) {
+                best_delta = delta;
+                best_kind = 0;
+            }
+        }
+        for (size_t j = 0; j < live_ops.size(); ++j) {
+            const auto& front = preload_front(j);
+            if (choice.preload_idx[j] + 1 >=
+                static_cast<int>(front.size())) {
+                continue;
+            }
+            const auto& cur = front[choice.preload_idx[j]];
+            const auto& nxt = front[choice.preload_idx[j] + 1];
+            double freed = static_cast<double>(cur.preload_space) -
+                           static_cast<double>(nxt.preload_space);
+            double added = nxt.time_cost() - cur.time_cost();
+            double delta = added <= 0
+                               ? std::numeric_limits<double>::infinity()
+                               : freed / added;
+            if (delta > best_delta) {
+                best_delta = delta;
+                best_kind = 1;
+                best_j = j;
+            }
+        }
+
+        if (best_kind < 0) {
+            choice.feasible = false;
+            choice.used_space = space;
+            return choice;  // every operator already at its smallest plan
+        }
+        if (best_kind == 0) {
+            ++choice.exec_idx;
+        } else {
+            ++choice.preload_idx[best_j];
+        }
+        space = total_space();
+    }
+
+    choice.feasible = true;
+    choice.used_space = space;
+    choice.exec_time = exec_front[choice.exec_idx].exec_time;
+    for (size_t j = 0; j < live_ops.size(); ++j) {
+        choice.total_distribute_time +=
+            preload_front(j)[choice.preload_idx[j]].time_cost();
+    }
+    return choice;
+}
+
+}  // namespace elk::compiler

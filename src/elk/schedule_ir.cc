@@ -1,0 +1,95 @@
+#include "elk/schedule_ir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace elk::compiler {
+
+double
+ExecutionPlan::reorder_edit_distance() const
+{
+    double moved = 0.0;
+    double total = 0.0;
+    for (size_t r = 0; r < preload_order.size(); ++r) {
+        double d = std::fabs(static_cast<double>(preload_order[r]) -
+                             static_cast<double>(r));
+        if (d > 0) {
+            moved += d;
+            total += 1.0;
+        }
+    }
+    return total > 0 ? moved / total : 0.0;
+}
+
+namespace {
+
+/// Signature key for plan sharing across identical operators.
+std::string
+signature(const graph::Operator& op)
+{
+    std::ostringstream key;
+    key << static_cast<int>(op.kind) << ":" << op.batch << ":" << op.m
+        << ":" << op.n << ":" << op.k << ":" << op.param_bytes << ":"
+        << op.stream_bytes << ":" << op.w_share_rows << ":"
+        << op.dtype_bytes;
+    return key.str();
+}
+
+}  // namespace
+
+PlanLibrary::PlanLibrary(const graph::Graph& graph,
+                         const plan::PlanContext& ctx)
+    : graph_(graph), ctx_(ctx)
+{
+    std::map<std::string, int> seen;
+    signature_of_.reserve(graph.size());
+    for (const auto& op : graph.ops()) {
+        std::string key = signature(op);
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+            int idx = static_cast<int>(fronts_.size());
+            fronts_.push_back(plan::enumerate_exec_plans(op, ctx_));
+            seen.emplace(std::move(key), idx);
+            signature_of_.push_back(idx);
+        } else {
+            signature_of_.push_back(it->second);
+        }
+    }
+}
+
+const std::vector<plan::ExecPlan>&
+PlanLibrary::exec_plans(int id) const
+{
+    return fronts_[signature_of_[id]];
+}
+
+const std::vector<plan::PreloadPlan>&
+PlanLibrary::preload_plans(int id, int exec_idx) const
+{
+    int sig = signature_of_[id];
+    auto key = std::make_pair(sig, exec_idx);
+    auto it = preload_cache_.find(key);
+    if (it == preload_cache_.end()) {
+        const auto& exec = fronts_[sig].at(exec_idx);
+        it = preload_cache_
+                 .emplace(key, plan::enumerate_preload_plans(
+                                   graph_.op(id), exec, ctx_))
+                 .first;
+    }
+    return it->second;
+}
+
+int
+PlanLibrary::max_plans_per_op() const
+{
+    size_t best = 0;
+    for (const auto& front : fronts_) {
+        best = std::max(best, front.size());
+    }
+    return static_cast<int>(best);
+}
+
+}  // namespace elk::compiler

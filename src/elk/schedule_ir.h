@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Schedule IR: the compiler's output (which plan each operator uses,
+ * when it preloads) and the PlanLibrary cache of per-operator plan
+ * Pareto fronts.
+ */
+#ifndef ELK_ELK_SCHEDULE_IR_H
+#define ELK_ELK_SCHEDULE_IR_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "plan/plan_enumerator.h"
+
+namespace elk::compiler {
+
+/// Per-operator outcome of compilation.
+struct OpSchedule {
+    int op_id = -1;
+    plan::ExecPlan exec;        ///< chosen execute-state plan.
+    plan::PreloadPlan preload;  ///< chosen preload-state plan.
+    double est_exec_time = 0.0; ///< exec incl. fetch, excl. distribution.
+    double est_preload_time = 0.0;  ///< max(DRAM, delivery) roofline.
+};
+
+/// Whole-model execution plan (paper Fig. 9 "Best Plan").
+struct ExecutionPlan {
+    std::string mode;
+    std::vector<OpSchedule> ops;     ///< by execution order.
+    std::vector<int> preload_order;  ///< execution indices, issue order.
+    std::vector<int> issue_slot;     ///< per preload_order entry.
+    double est_total_time = 0.0;     ///< scheduler's own estimate.
+
+    /// Average §6.2-style edit distance of the preload order from the
+    /// execution order (mean |position - exec index| over moved ops).
+    double reorder_edit_distance() const;
+};
+
+/**
+ * Caches Pareto plan fronts per operator. Operators with identical
+ * signatures (kind + dims + byte counts) share one entry, which keeps
+ * enumeration cost sub-linear in model size (paper §5 scalability).
+ */
+class PlanLibrary {
+  public:
+    PlanLibrary(const graph::Graph& graph, const plan::PlanContext& ctx);
+
+    /// Pareto-front execute-state plans of op @p id, fastest first.
+    const std::vector<plan::ExecPlan>& exec_plans(int id) const;
+
+    /**
+     * Pareto-front preload-state plans of op @p id given that it will
+     * execute with exec_plans(id)[exec_idx]; largest-memory first
+     * (MaxPreload at index 0). Lazily computed and cached.
+     */
+    const std::vector<plan::PreloadPlan>& preload_plans(int id,
+                                                        int exec_idx) const;
+
+    /// The paper's P: maximum Pareto plans across operators.
+    int max_plans_per_op() const;
+
+    /// Number of distinct operator signatures (diagnostics).
+    int num_signatures() const { return static_cast<int>(fronts_.size()); }
+
+    const graph::Graph& graph() const { return graph_; }
+    const plan::PlanContext& context() const { return ctx_; }
+
+  private:
+    const graph::Graph& graph_;
+    plan::PlanContext ctx_;
+    std::vector<int> signature_of_;  ///< op id -> front index.
+    std::vector<std::vector<plan::ExecPlan>> fronts_;
+    /// (front index, exec plan index) -> preload front.
+    mutable std::map<std::pair<int, int>, std::vector<plan::PreloadPlan>>
+        preload_cache_;
+};
+
+}  // namespace elk::compiler
+
+#endif  // ELK_ELK_SCHEDULE_IR_H

@@ -1,0 +1,102 @@
+#include "frontend/graph_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace elk::frontend {
+
+namespace {
+
+const std::map<std::string, graph::OpKind>&
+kind_names()
+{
+    static const std::map<std::string, graph::OpKind> names = {
+        {"MatMul", graph::OpKind::kMatMul},
+        {"BatchMatMul", graph::OpKind::kBatchMatMul},
+        {"Elementwise", graph::OpKind::kElementwise},
+        {"Softmax", graph::OpKind::kSoftmax},
+        {"LayerNorm", graph::OpKind::kLayerNorm},
+        {"Embedding", graph::OpKind::kEmbedding},
+    };
+    return names;
+}
+
+}  // namespace
+
+std::string
+to_egf(const graph::Graph& graph)
+{
+    std::ostringstream out;
+    out << "elk-graph-v1 " << graph.name() << "\n";
+    for (const auto& op : graph.ops()) {
+        out << "op " << op.name << " " << graph::op_kind_name(op.kind)
+            << " " << op.layer << " " << op.batch << " " << op.m << " "
+            << op.n << " " << op.k << " " << op.dtype_bytes << " "
+            << op.w_share_rows << " " << op.param_bytes << " "
+            << op.stream_bytes << " " << op.act_in_bytes << " "
+            << op.act_out_bytes << "\n";
+    }
+    return out.str();
+}
+
+graph::Graph
+from_egf(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string magic;
+    std::string name;
+    in >> magic >> name;
+    if (magic != "elk-graph-v1") {
+        util::fatal("EGF parse error: bad magic '" + magic + "'");
+    }
+    graph::Graph graph(name);
+    std::string token;
+    while (in >> token) {
+        if (token != "op") {
+            util::fatal("EGF parse error: expected 'op', got '" + token +
+                        "'");
+        }
+        graph::Operator op;
+        std::string kind;
+        in >> op.name >> kind >> op.layer >> op.batch >> op.m >> op.n >>
+            op.k >> op.dtype_bytes >> op.w_share_rows >> op.param_bytes >>
+            op.stream_bytes >> op.act_in_bytes >> op.act_out_bytes;
+        if (!in) {
+            util::fatal("EGF parse error: truncated operator line");
+        }
+        auto it = kind_names().find(kind);
+        if (it == kind_names().end()) {
+            util::fatal("EGF parse error: unknown kind '" + kind + "'");
+        }
+        op.kind = it->second;
+        graph.add(op);
+    }
+    return graph;
+}
+
+void
+save_graph(const graph::Graph& graph, const std::string& path)
+{
+    std::ofstream file(path);
+    if (!file) {
+        util::fatal("cannot open for write: " + path);
+    }
+    file << to_egf(graph);
+}
+
+graph::Graph
+load_graph(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        util::fatal("cannot open for read: " + path);
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    return from_egf(buf.str());
+}
+
+}  // namespace elk::frontend

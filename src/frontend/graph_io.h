@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Text-format model graph import/export (the "EGF" format).
+ *
+ * Substitutes the paper's ONNX frontend (§5): the compiler consumes
+ * operator kinds, shapes, byte counts and order — exactly what this
+ * format stores, one operator per line. It lets users bring their own
+ * models without linking an ONNX parser, and lets the builders'
+ * graphs be archived alongside experiment results.
+ *
+ * Format:
+ *   elk-graph-v1 <model-name>
+ *   op <name> <kind> <layer> <batch> <m> <n> <k> <dtype_bytes>
+ *      <w_share_rows> <param_bytes> <stream_bytes> <act_in> <act_out>
+ */
+#ifndef ELK_FRONTEND_GRAPH_IO_H
+#define ELK_FRONTEND_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace elk::frontend {
+
+/// Serializes @p graph to the EGF text format.
+std::string to_egf(const graph::Graph& graph);
+
+/// Parses an EGF document; util::fatal on malformed input.
+graph::Graph from_egf(const std::string& text);
+
+/// Writes @p graph to @p path; util::fatal on I/O errors.
+void save_graph(const graph::Graph& graph, const std::string& path);
+
+/// Reads a graph from @p path; util::fatal on I/O or parse errors.
+graph::Graph load_graph(const std::string& path);
+
+}  // namespace elk::frontend
+
+#endif  // ELK_FRONTEND_GRAPH_IO_H

@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace elk::graph {
+
+int
+Graph::add(Operator op)
+{
+    op.id = static_cast<int>(ops_.size());
+    finalize_flops(op);
+    num_layers_ = std::max(num_layers_, op.layer + 1);
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+std::vector<int>
+Graph::ops_in_layer(int layer) const
+{
+    std::vector<int> ids;
+    for (const auto& op : ops_) {
+        if (op.layer == layer) {
+            ids.push_back(op.id);
+        }
+    }
+    return ids;
+}
+
+uint64_t
+Graph::total_hbm_bytes() const
+{
+    uint64_t total = 0;
+    for (const auto& op : ops_) {
+        total += op.hbm_bytes();
+    }
+    return total;
+}
+
+uint64_t
+Graph::avg_hbm_bytes() const
+{
+    if (ops_.empty()) {
+        return 0;
+    }
+    return total_hbm_bytes() / ops_.size();
+}
+
+double
+Graph::total_flops() const
+{
+    double total = 0;
+    for (const auto& op : ops_) {
+        total += op.flops;
+    }
+    return total;
+}
+
+std::vector<int>
+Graph::hbm_heavy_ops() const
+{
+    uint64_t avg = avg_hbm_bytes();
+    std::vector<int> ids;
+    for (const auto& op : ops_) {
+        if (op.hbm_heavy(avg)) {
+            ids.push_back(op.id);
+        }
+    }
+    return ids;
+}
+
+int
+Graph::hbm_heavy_per_layer() const
+{
+    uint64_t avg = avg_hbm_bytes();
+    std::map<int, int> per_layer;
+    int best = 0;
+    for (const auto& op : ops_) {
+        if (op.layer >= 0 && op.hbm_heavy(avg)) {
+            best = std::max(best, ++per_layer[op.layer]);
+        }
+    }
+    return best;
+}
+
+}  // namespace elk::graph

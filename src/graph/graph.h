@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The model graph: an ordered operator sequence plus model metadata.
+ *
+ * Operators in a DL model execute in a sequential order imposed by data
+ * dependence (paper §4.2); the graph is therefore a vector of operators
+ * in execution order, annotated with layer boundaries so the preload
+ * reordering pass can work per transformer layer (paper §4.4).
+ */
+#ifndef ELK_GRAPH_GRAPH_H
+#define ELK_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+
+namespace elk::graph {
+
+/// Ordered operator sequence of one model invocation.
+class Graph {
+  public:
+    /// Creates an empty graph for a model named @p name.
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    /// Appends @p op, assigning its dense id; returns the id.
+    int add(Operator op);
+
+    /// Model name (e.g., "Llama2-13B").
+    const std::string& name() const { return name_; }
+
+    /// All operators in execution order.
+    const std::vector<Operator>& ops() const { return ops_; }
+
+    /// Operator by id.
+    const Operator& op(int id) const { return ops_[id]; }
+
+    /// Number of operators (the paper's N).
+    int size() const { return static_cast<int>(ops_.size()); }
+
+    /// Number of distinct transformer layers seen.
+    int num_layers() const { return num_layers_; }
+
+    /// Ids of the operators in @p layer, in execution order.
+    std::vector<int> ops_in_layer(int layer) const;
+
+    /// Sum of HBM bytes over all operators (weights + streams).
+    uint64_t total_hbm_bytes() const;
+
+    /// Mean HBM bytes per operator; the §4.4 HBM-heavy threshold.
+    uint64_t avg_hbm_bytes() const;
+
+    /// Sum of FLOPs over all operators.
+    double total_flops() const;
+
+    /// Ids of §4.4 HBM-heavy operators (volume above model average).
+    std::vector<int> hbm_heavy_ops() const;
+
+    /// The paper's H: max number of HBM-heavy operators in one layer.
+    int hbm_heavy_per_layer() const;
+
+  private:
+    std::string name_;
+    std::vector<Operator> ops_;
+    int num_layers_ = 0;
+};
+
+}  // namespace elk::graph
+
+#endif  // ELK_GRAPH_GRAPH_H

@@ -1,0 +1,240 @@
+#include "graph/model_builder.h"
+
+#include "util/logging.h"
+
+namespace elk::graph {
+
+namespace {
+
+/// Convenience builder that threads layer ids and dtype through ops.
+class LayerBuilder {
+  public:
+    LayerBuilder(Graph& graph, int dtype_bytes)
+        : graph_(graph), dtype_(dtype_bytes)
+    {
+    }
+
+    void set_layer(int layer) { layer_ = layer; }
+
+    /// Adds a MatMul [m,k]x[k,n] whose k x n operand is a HBM weight.
+    int
+    matmul(const std::string& name, long m, long k, long n)
+    {
+        Operator op;
+        op.kind = OpKind::kMatMul;
+        op.name = name;
+        op.layer = layer_;
+        op.m = m;
+        op.k = k;
+        op.n = n;
+        op.dtype_bytes = dtype_;
+        op.param_bytes = bytes(k * n);
+        op.act_in_bytes = bytes(m * k);
+        op.act_out_bytes = bytes(m * n);
+        return graph_.add(op);
+    }
+
+    /// Adds a BatchMatMul; @p stream_elems elements stream from HBM
+    /// (the KV cache in decode; zero in forward/DiT attention).
+    int
+    batch_matmul(const std::string& name, long b, long m, long k, long n,
+                 long stream_elems)
+    {
+        Operator op;
+        op.kind = OpKind::kBatchMatMul;
+        op.name = name;
+        op.layer = layer_;
+        op.batch = b;
+        op.m = m;
+        op.k = k;
+        op.n = n;
+        op.dtype_bytes = dtype_;
+        op.stream_bytes = bytes(stream_elems);
+        op.act_in_bytes = bytes(b * m * k);
+        op.act_out_bytes = bytes(b * m * n);
+        op.w_share_rows = w_share_rows_;
+        return graph_.add(op);
+    }
+
+    /// Sets the W sharing span applied to subsequent batch_matmuls.
+    void set_w_share_rows(long rows) { w_share_rows_ = rows; }
+
+    /// Adds an elementwise op over m x n elements.
+    int
+    elementwise(const std::string& name, long m, long n,
+                long param_elems = 0)
+    {
+        Operator op;
+        op.kind = OpKind::kElementwise;
+        op.name = name;
+        op.layer = layer_;
+        op.m = m;
+        op.n = n;
+        op.dtype_bytes = dtype_;
+        op.param_bytes = bytes(param_elems);
+        op.act_in_bytes = bytes(m * n);
+        op.act_out_bytes = bytes(m * n);
+        return graph_.add(op);
+    }
+
+    /// Adds a softmax over rows of [b*m, n].
+    int
+    softmax(const std::string& name, long b, long m, long n)
+    {
+        Operator op;
+        op.kind = OpKind::kSoftmax;
+        op.name = name;
+        op.layer = layer_;
+        op.batch = b;
+        op.m = m;
+        op.n = n;
+        op.dtype_bytes = dtype_;
+        op.act_in_bytes = bytes(b * m * n);
+        op.act_out_bytes = bytes(b * m * n);
+        return graph_.add(op);
+    }
+
+    /// Adds a layernorm over rows of [m, n] with 2n scale parameters.
+    int
+    layer_norm(const std::string& name, long m, long n)
+    {
+        Operator op;
+        op.kind = OpKind::kLayerNorm;
+        op.name = name;
+        op.layer = layer_;
+        op.m = m;
+        op.n = n;
+        op.dtype_bytes = dtype_;
+        op.param_bytes = bytes(2 * n);
+        op.act_in_bytes = bytes(m * n);
+        op.act_out_bytes = bytes(m * n);
+        return graph_.add(op);
+    }
+
+  private:
+    uint64_t
+    bytes(long elems) const
+    {
+        return static_cast<uint64_t>(elems) * dtype_;
+    }
+
+    Graph& graph_;
+    int dtype_;
+    int layer_ = -1;
+    long w_share_rows_ = 1;
+};
+
+/**
+ * Emits one transformer block. @p tokens is the number of query rows
+ * fed to the projections (batch for decode, batch*seq otherwise);
+ * @p q_len / @p kv_len are the attention geometry; @p kv_streams
+ * selects whether K/V arrive from HBM (decode) or on-chip (forward).
+ */
+void
+emit_block(LayerBuilder& lb, const ModelConfig& cfg, int layer, long tokens,
+           long batch_seqs, long q_len, long kv_len, bool kv_streams)
+{
+    lb.set_layer(layer);
+    const long h = cfg.hidden;
+    const long qkv_out =
+        (static_cast<long>(cfg.heads) + 2L * cfg.kv_heads) * cfg.head_dim;
+
+    lb.layer_norm("attn_norm", tokens, h);
+    lb.matmul("attn_qkv", tokens, h, qkv_out);
+    lb.elementwise("rope", tokens, (cfg.heads + cfg.kv_heads) *
+                                       static_cast<long>(cfg.head_dim));
+
+    const long bh = batch_seqs * cfg.heads;
+    const long kv_elems_each =
+        kv_streams ? batch_seqs * cfg.kv_heads * kv_len *
+                         static_cast<long>(cfg.head_dim)
+                   : 0;
+    // Query rows that share one K/V block: q_len rows per head times
+    // the GQA group of query heads mapping to one KV head.
+    lb.set_w_share_rows(q_len * (cfg.heads / cfg.kv_heads));
+    lb.batch_matmul("attn_score", bh, q_len, cfg.head_dim, kv_len,
+                    kv_elems_each);
+    lb.softmax("attn_softmax", bh, q_len, kv_len);
+    lb.batch_matmul("attn_value", bh, q_len, kv_len, cfg.head_dim,
+                    kv_elems_each);
+    lb.set_w_share_rows(1);
+    lb.matmul("attn_output",
+              tokens, static_cast<long>(cfg.heads) * cfg.head_dim, h);
+    lb.elementwise("attn_residual", tokens, h);
+
+    lb.layer_norm("ffn_norm", tokens, h);
+    lb.matmul("ffn_up", tokens, h, cfg.ffn);
+    if (cfg.gated_ffn) {
+        lb.matmul("ffn_gate", tokens, h, cfg.ffn);
+    }
+    lb.elementwise("ffn_act", tokens, cfg.ffn);
+    lb.matmul("ffn_down", tokens, cfg.ffn, h);
+    lb.elementwise("ffn_residual", tokens, h);
+}
+
+}  // namespace
+
+Graph
+build_decode_graph(const ModelConfig& cfg, int batch, int seq)
+{
+    util::check(batch > 0 && seq > 0, "decode graph: bad batch/seq");
+    Graph graph(cfg.name);
+    LayerBuilder lb(graph, cfg.dtype_bytes);
+
+    for (int layer = 0; layer < cfg.layers; ++layer) {
+        emit_block(lb, cfg, layer, /*tokens=*/batch, /*batch_seqs=*/batch,
+                   /*q_len=*/1, /*kv_len=*/seq, /*kv_streams=*/true);
+    }
+    lb.set_layer(-1);
+    lb.layer_norm("final_norm", batch, cfg.hidden);
+    if (cfg.vocab > 0) {
+        lb.matmul("lm_head", batch, cfg.hidden, cfg.vocab);
+    }
+    return graph;
+}
+
+Graph
+build_forward_graph(const ModelConfig& cfg, int batch, int seq)
+{
+    util::check(batch > 0 && seq > 0, "forward graph: bad batch/seq");
+    Graph graph(cfg.name + "-fwd");
+    LayerBuilder lb(graph, cfg.dtype_bytes);
+
+    const long tokens = static_cast<long>(batch) * seq;
+    for (int layer = 0; layer < cfg.layers; ++layer) {
+        emit_block(lb, cfg, layer, tokens, /*batch_seqs=*/batch,
+                   /*q_len=*/seq, /*kv_len=*/seq, /*kv_streams=*/false);
+    }
+    lb.set_layer(-1);
+    lb.layer_norm("final_norm", tokens, cfg.hidden);
+    if (cfg.vocab > 0) {
+        lb.matmul("lm_head", tokens, cfg.hidden, cfg.vocab);
+    }
+    return graph;
+}
+
+Graph
+build_dit_graph(const ModelConfig& cfg, int batch, int tokens)
+{
+    util::check(batch > 0 && tokens > 0, "dit graph: bad batch/tokens");
+    Graph graph(cfg.name);
+    LayerBuilder lb(graph, cfg.dtype_bytes);
+
+    const long rows = static_cast<long>(batch) * tokens;
+    lb.set_layer(-1);
+    lb.matmul("patch_embed", rows, 3L * 4 * 4, cfg.hidden);
+    for (int layer = 0; layer < cfg.layers; ++layer) {
+        lb.set_layer(layer);
+        // adaLN-Zero conditioning: 6 modulation vectors per block.
+        lb.elementwise("ada_ln", rows, cfg.hidden, 6L * cfg.hidden);
+        emit_block(lb, cfg, layer, rows, /*batch_seqs=*/batch,
+                   /*q_len=*/tokens, /*kv_len=*/tokens,
+                   /*kv_streams=*/false);
+    }
+    lb.set_layer(-1);
+    lb.layer_norm("final_norm", rows, cfg.hidden);
+    lb.matmul("patch_unembed", rows, cfg.hidden, 3L * 4 * 4 * 2);
+    return graph;
+}
+
+}  // namespace elk::graph

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Builders that expand a ModelConfig into the operator sequence Elk
+ * compiles. This substitutes the paper's ONNX frontend (§5): the
+ * compiler only consumes operator kinds, tensor shapes and execution
+ * order, which these builders emit analytically.
+ *
+ * Three graph flavors cover the paper's workloads:
+ *  - decode: one token of LLM inference with a KV cache (Figs. 5-22);
+ *  - forward: full-sequence forward pass (training, Fig. 24);
+ *  - DiT: one denoising step of a diffusion transformer (Fig. 23).
+ */
+#ifndef ELK_GRAPH_MODEL_BUILDER_H
+#define ELK_GRAPH_MODEL_BUILDER_H
+
+#include "graph/graph.h"
+#include "graph/model_config.h"
+
+namespace elk::graph {
+
+/**
+ * LLM decoding step: batch @p batch requests, each with a KV cache of
+ * @p seq past tokens. Weights and the KV cache stream from HBM.
+ */
+Graph build_decode_graph(const ModelConfig& cfg, int batch, int seq);
+
+/**
+ * Full-sequence forward pass (the compute-intensive training shape):
+ * all @p seq tokens of @p batch sequences are processed at once, so
+ * attention is S x S and no KV cache streams from HBM.
+ */
+Graph build_forward_graph(const ModelConfig& cfg, int batch, int seq);
+
+/**
+ * One denoising step of a diffusion transformer over @p tokens image
+ * tokens per sample (DiT-XL/2 at 256x256 uses 256 tokens).
+ */
+Graph build_dit_graph(const ModelConfig& cfg, int batch, int tokens);
+
+}  // namespace elk::graph
+
+#endif  // ELK_GRAPH_MODEL_BUILDER_H

@@ -1,0 +1,111 @@
+#include "graph/model_config.h"
+
+#include "util/logging.h"
+
+namespace elk::graph {
+
+double
+ModelConfig::param_count() const
+{
+    double h = hidden;
+    double qkv = h * (heads + 2.0 * kv_heads) * head_dim;
+    double out_proj = static_cast<double>(heads) * head_dim * h;
+    double ffn_mats = (gated_ffn ? 3.0 : 2.0) * h * ffn;
+    double norms = 2.0 * h;
+    double per_layer = qkv + out_proj + ffn_mats + norms;
+    double embedding = static_cast<double>(vocab) * h;
+    return per_layer * layers + 2.0 * embedding;
+}
+
+ModelConfig
+llama2_13b()
+{
+    ModelConfig cfg;
+    cfg.name = "Llama2-13B";
+    cfg.hidden = 5120;
+    cfg.layers = 40;
+    cfg.heads = 40;
+    cfg.kv_heads = 40;
+    cfg.head_dim = 128;
+    cfg.ffn = 13824;
+    cfg.vocab = 32000;
+    cfg.gated_ffn = true;
+    return cfg;
+}
+
+ModelConfig
+gemma2_27b()
+{
+    ModelConfig cfg;
+    cfg.name = "Gemma2-27B";
+    cfg.hidden = 4608;
+    cfg.layers = 46;
+    cfg.heads = 32;
+    cfg.kv_heads = 16;
+    cfg.head_dim = 128;
+    cfg.ffn = 36864;
+    cfg.vocab = 256128;
+    cfg.gated_ffn = true;
+    return cfg;
+}
+
+ModelConfig
+opt_30b()
+{
+    ModelConfig cfg;
+    cfg.name = "OPT-30B";
+    cfg.hidden = 7168;
+    cfg.layers = 48;
+    cfg.heads = 56;
+    cfg.kv_heads = 56;
+    cfg.head_dim = 128;
+    cfg.ffn = 28672;
+    cfg.vocab = 50272;
+    cfg.gated_ffn = false;
+    return cfg;
+}
+
+ModelConfig
+llama2_70b()
+{
+    ModelConfig cfg;
+    cfg.name = "Llama2-70B";
+    cfg.hidden = 8192;
+    cfg.layers = 80;
+    cfg.heads = 64;
+    cfg.kv_heads = 8;
+    cfg.head_dim = 128;
+    cfg.ffn = 28672;
+    cfg.vocab = 32000;
+    cfg.gated_ffn = true;
+    return cfg;
+}
+
+ModelConfig
+dit_xl()
+{
+    ModelConfig cfg;
+    cfg.name = "DiT-XL";
+    cfg.hidden = 1152;
+    cfg.layers = 28;
+    cfg.heads = 16;
+    cfg.kv_heads = 16;
+    cfg.head_dim = 72;
+    cfg.ffn = 4608;
+    cfg.vocab = 0;  // no token embedding; patch projection instead.
+    cfg.gated_ffn = false;
+    return cfg;
+}
+
+ModelConfig
+model_by_name(const std::string& name)
+{
+    if (name == "Llama2-13B") return llama2_13b();
+    if (name == "Gemma2-27B") return gemma2_27b();
+    if (name == "OPT-30B") return opt_30b();
+    if (name == "Llama2-70B") return llama2_70b();
+    if (name == "DiT-XL") return dit_xl();
+    util::fatal("unknown model: " + name);
+}
+
+}  // namespace elk::graph

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Transformer model configurations for the evaluation workloads
+ * (paper Table 2): Llama2-13B, Gemma2-27B, OPT-30B, Llama2-70B and the
+ * DiT-XL diffusion transformer.
+ */
+#ifndef ELK_GRAPH_MODEL_CONFIG_H
+#define ELK_GRAPH_MODEL_CONFIG_H
+
+#include <string>
+
+namespace elk::graph {
+
+/// Architectural hyperparameters of a transformer model.
+struct ModelConfig {
+    std::string name;
+    int hidden = 0;        ///< model dimension.
+    int layers = 0;        ///< number of transformer blocks.
+    int heads = 0;         ///< query heads.
+    int kv_heads = 0;      ///< key/value heads (GQA when < heads).
+    int head_dim = 0;      ///< per-head dimension.
+    int ffn = 0;           ///< FFN inner dimension.
+    int vocab = 0;         ///< vocabulary size.
+    bool gated_ffn = false;///< SwiGLU/GeGLU style 3-matrix FFN.
+    int dtype_bytes = 2;   ///< fp16.
+
+    /// Approximate parameter count (embedding + blocks), in elements.
+    double param_count() const;
+
+    /// Parameter bytes at the configured dtype.
+    double param_bytes() const { return param_count() * dtype_bytes; }
+};
+
+/// Llama2-13B (paper Table 2).
+ModelConfig llama2_13b();
+/// Gemma2-27B with grouped-query attention.
+ModelConfig gemma2_27b();
+/// OPT-30B (ReLU FFN, no GQA).
+ModelConfig opt_30b();
+/// Llama2-70B with grouped-query attention.
+ModelConfig llama2_70b();
+/// DiT-XL/2 diffusion transformer (image tokens, compute-intensive).
+ModelConfig dit_xl();
+
+/// Returns the config by name; util::fatal on unknown names.
+ModelConfig model_by_name(const std::string& name);
+
+}  // namespace elk::graph
+
+#endif  // ELK_GRAPH_MODEL_CONFIG_H

@@ -1,0 +1,54 @@
+#include "graph/op.h"
+
+namespace elk::graph {
+
+std::string
+op_kind_name(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kMatMul: return "MatMul";
+      case OpKind::kBatchMatMul: return "BatchMatMul";
+      case OpKind::kElementwise: return "Elementwise";
+      case OpKind::kSoftmax: return "Softmax";
+      case OpKind::kLayerNorm: return "LayerNorm";
+      case OpKind::kEmbedding: return "Embedding";
+    }
+    return "?";
+}
+
+bool
+uses_matmul_pipeline(OpKind kind)
+{
+    return kind == OpKind::kMatMul || kind == OpKind::kBatchMatMul;
+}
+
+void
+finalize_flops(Operator& op)
+{
+    double b = static_cast<double>(op.batch);
+    double m = static_cast<double>(op.m);
+    double n = static_cast<double>(op.n);
+    double k = static_cast<double>(op.k);
+    switch (op.kind) {
+      case OpKind::kMatMul:
+      case OpKind::kBatchMatMul:
+        op.flops = 2.0 * b * m * n * k;
+        break;
+      case OpKind::kElementwise:
+        op.flops = b * m * n;
+        break;
+      case OpKind::kSoftmax:
+        // exp + sum + div per element, ~5 vector ops.
+        op.flops = 5.0 * b * m * n;
+        break;
+      case OpKind::kLayerNorm:
+        // two reduction passes + scale/shift, ~6 vector ops.
+        op.flops = 6.0 * b * m * n;
+        break;
+      case OpKind::kEmbedding:
+        op.flops = b * m * n;  // copy-dominated
+        break;
+    }
+}
+
+}  // namespace elk::graph

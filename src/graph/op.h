@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Operator IR consumed by the Elk compiler.
+ *
+ * Elk's frontend (paper §5) reduces an ONNX graph to a sequence of
+ * operators with types, tensor shapes and dependency order; since the
+ * scheduling problem only needs that information, this IR keeps exactly
+ * it: semantic dimensions (batch, m, n, k), byte counts split by where
+ * the data lives (HBM-resident parameters, HBM-resident streaming data
+ * like the KV cache, on-chip activations), and FLOP counts.
+ */
+#ifndef ELK_GRAPH_OP_H
+#define ELK_GRAPH_OP_H
+
+#include <cstdint>
+#include <string>
+
+namespace elk::graph {
+
+/// Operator kinds Elk schedules. Matmul-like kinds use the tensor-core
+/// (AMP) pipeline; the rest use the vector pipeline.
+enum class OpKind {
+    kMatMul,       ///< [m,k] x [k,n]; the k x n operand is a parameter.
+    kBatchMatMul,  ///< batch x ([m,k] x [k,n]); operand may stream (KV).
+    kElementwise,  ///< pointwise over n elements (add, mul, activation).
+    kSoftmax,      ///< row softmax over [m, n] with reduction along n.
+    kLayerNorm,    ///< normalization over [m, n] rows.
+    kEmbedding,    ///< table lookup; parameter-heavy, trivial compute.
+};
+
+/// Human-readable kind name.
+std::string op_kind_name(OpKind kind);
+
+/// True for kinds executed on the MatMul (tensor-core) pipeline.
+bool uses_matmul_pipeline(OpKind kind);
+
+/**
+ * One schedulable operator. Operators execute in graph order (data
+ * dependence makes DL model execution essentially sequential, §4.2).
+ */
+struct Operator {
+    int id = -1;           ///< dense index within the graph.
+    OpKind kind = OpKind::kElementwise;
+    std::string name;
+    int layer = -1;        ///< transformer layer index; -1 = outside.
+
+    // Semantic dimensions: output is [batch, m, n]; k is contracted.
+    // Elementwise-like ops use m*n as the element count with batch=1.
+    long batch = 1;
+    long m = 1;
+    long n = 1;
+    long k = 1;
+    int dtype_bytes = 2;   ///< fp16 by default.
+
+    /**
+     * Sharing span of the weight/stream (W) operand along the output
+     * rows: how many consecutive output rows consume the same W block.
+     * 0 means "all rows" (a weight matrix reused by every row, the
+     * MatMul case). Attention BatchMatMuls set heads/kv_heads * q_len
+     * (GQA sharing, paper §6.2).
+     */
+    long w_share_rows = 0;
+
+    /// Reusable parameters resident in HBM (weights); preloaded.
+    uint64_t param_bytes = 0;
+    /// Streaming HBM data with no cross-request reuse (e.g., KV cache).
+    uint64_t stream_bytes = 0;
+    /// Input activations produced on-chip by predecessors.
+    uint64_t act_in_bytes = 0;
+    /// Output activations kept on-chip for successors.
+    uint64_t act_out_bytes = 0;
+
+    /// Floating-point operations performed.
+    double flops = 0.0;
+
+    /// Bytes this operator must preload from HBM.
+    uint64_t hbm_bytes() const { return param_bytes + stream_bytes; }
+
+    /// Paper §4.4: operators whose HBM tensor volume is above the
+    /// model average are eligible for preload reordering.
+    bool
+    hbm_heavy(uint64_t avg_hbm_bytes) const
+    {
+        return hbm_bytes() > avg_hbm_bytes;
+    }
+
+    /// Total on-chip working footprint if held whole (for sanity checks).
+    uint64_t
+    total_bytes() const
+    {
+        return hbm_bytes() + act_in_bytes + act_out_bytes;
+    }
+};
+
+/**
+ * Computes flops for a matmul-like operator (2*b*m*n*k) or a
+ * vector-op estimate for the other kinds, and stores it in @p op.
+ */
+void finalize_flops(Operator& op);
+
+}  // namespace elk::graph
+
+#endif  // ELK_GRAPH_OP_H

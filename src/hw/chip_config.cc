@@ -1,0 +1,67 @@
+#include "hw/chip_config.h"
+
+#include "util/logging.h"
+
+namespace elk::hw {
+
+std::string
+topology_name(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::kAllToAll: return "all-to-all";
+      case TopologyKind::kMesh2D: return "mesh";
+    }
+    return "?";
+}
+
+ChipConfig
+ChipConfig::ipu_pod4()
+{
+    ChipConfig cfg;  // defaults are the POD4 numbers
+    cfg.validate();
+    return cfg;
+}
+
+ChipConfig
+ChipConfig::tiny(int cores)
+{
+    ChipConfig cfg;
+    cfg.cores_per_chip = cores;
+    cfg.num_chips = 1;
+    cfg.sram_per_core = 64ull * 1024;
+    cfg.transfer_buffer_per_core = 4ull * 1024;
+    cfg.core_matmul_flops = 1e9;
+    cfg.core_vector_flops = 1e8;
+    cfg.inter_core_link_bw = 1e9;
+    cfg.hbm_total_bw = 8e9;
+    cfg.hbm_channels_per_chip = 2;
+    cfg.mesh_width = 4;
+    cfg.mesh_height = (cores + 3) / 4;
+    cfg.mesh_link_bw = 4e9;
+    cfg.validate();
+    return cfg;
+}
+
+void
+ChipConfig::validate() const
+{
+    if (cores_per_chip <= 0 || num_chips <= 0) {
+        util::fatal("ChipConfig: core/chip counts must be positive");
+    }
+    if (sram_per_core <= transfer_buffer_per_core) {
+        util::fatal("ChipConfig: SRAM smaller than the transfer buffer");
+    }
+    if (core_matmul_flops <= 0 || core_vector_flops <= 0) {
+        util::fatal("ChipConfig: FLOP rates must be positive");
+    }
+    if (inter_core_link_bw <= 0 || hbm_total_bw <= 0 ||
+        inter_chip_bw <= 0) {
+        util::fatal("ChipConfig: bandwidths must be positive");
+    }
+    if (topology == TopologyKind::kMesh2D &&
+        static_cast<long>(mesh_width) * mesh_height < cores_per_chip) {
+        util::fatal("ChipConfig: mesh grid smaller than core count");
+    }
+}
+
+}  // namespace elk::hw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pareto-front extraction over (memory, time) points (paper §4.3):
+ * a plan stays on the front iff no other plan is both at most as
+ * large and at most as slow (with one strict).
+ */
+#ifndef ELK_PLAN_PARETO_H
+#define ELK_PLAN_PARETO_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace elk::plan {
+
+/**
+ * Returns the Pareto-optimal subset of @p points, sorted by
+ * *descending* memory (i.e., ascending time): index 0 is the fastest
+ * (largest) plan, the last index the smallest (slowest) plan. This is
+ * the walk order of the §4.3 greedy allocator.
+ *
+ * @param points  candidate set.
+ * @param mem_of  functor T -> uint64_t memory footprint.
+ * @param time_of functor T -> double time cost.
+ */
+template <typename T, typename MemFn, typename TimeFn>
+std::vector<T>
+pareto_front(std::vector<T> points, MemFn mem_of, TimeFn time_of)
+{
+    if (points.empty()) {
+        return points;
+    }
+    // Sort by memory ascending, time ascending for ties.
+    std::sort(points.begin(), points.end(), [&](const T& a, const T& b) {
+        if (mem_of(a) != mem_of(b)) {
+            return mem_of(a) < mem_of(b);
+        }
+        return time_of(a) < time_of(b);
+    });
+    // Sweep: keep a point iff it is strictly faster than everything
+    // smaller or equal that we already kept.
+    std::vector<T> front;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (auto& p : points) {
+        if (time_of(p) < best_time) {
+            best_time = time_of(p);
+            front.push_back(std::move(p));
+        }
+    }
+    // Descending memory == ascending time.
+    std::reverse(front.begin(), front.end());
+    return front;
+}
+
+}  // namespace elk::plan
+
+#endif  // ELK_PLAN_PARETO_H

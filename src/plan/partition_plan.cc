@@ -1,0 +1,16 @@
+#include "plan/partition_plan.h"
+
+#include <sstream>
+
+namespace elk::plan {
+
+std::string
+ExecPlan::to_string() const
+{
+    std::ostringstream out;
+    out << "<" << parts_rows << "," << parts_cols << "," << parts_k
+        << "|a" << repl_a << ",w" << repl_w << ">";
+    return out.str();
+}
+
+}  // namespace elk::plan

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Partition plans: how one operator's computation and data spread over
+ * the cores of an ICCA chip.
+ *
+ * Following the compute-shift execution model of T10 that the paper
+ * builds on (§5), an execute-state plan factorizes the operator's
+ * output rows, output columns and contraction dimension over cores and
+ * picks a *residency* for each shared operand: a core may hold only
+ * 1/repl of the operand block it needs, fetching the rest from the
+ * peers in its sharing group while executing (paper Fig. 3c). Less
+ * residency = less execution space but more inter-core traffic.
+ *
+ * A preload-state plan (paper §4.3, "intra-operator tradeoff for
+ * preloading") then decides which fraction of the execute-state
+ * residency is broadcast by the HBM controllers at preload time versus
+ * exchanged between peers in the data-distribution phase.
+ */
+#ifndef ELK_PLAN_PARTITION_PLAN_H
+#define ELK_PLAN_PARTITION_PLAN_H
+
+#include <cstdint>
+#include <string>
+
+namespace elk::plan {
+
+/**
+ * Execute-state plan: partition factors plus derived per-core metrics.
+ * The paper represents plans as small integer lists (e.g., <90,9>);
+ * ours are <parts_rows, parts_cols, parts_k, repl_a, repl_w>.
+ */
+struct ExecPlan {
+    // --- decision variables ---
+    int parts_rows = 1;  ///< partitions of the output-row dimension.
+    int parts_cols = 1;  ///< partitions of the output-column dimension.
+    int parts_k = 1;     ///< partitions of the contraction dimension.
+    /// Core holds 1/repl_a of the activation (A) block it consumes.
+    int repl_a = 1;
+    /// Core holds 1/repl_w of the weight/stream (W) block it consumes.
+    int repl_w = 1;
+
+    // --- derived metrics (filled by the enumerator) ---
+    long tile_rows = 1;      ///< output rows per core.
+    long tile_cols = 1;      ///< output columns per core.
+    long tile_k = 1;         ///< contraction slice per core.
+    uint64_t a_need = 0;     ///< bytes of A a core consumes.
+    uint64_t w_need = 0;     ///< bytes of W a core consumes.
+    uint64_t out_bytes = 0;  ///< bytes of output a core produces.
+    int group_a = 1;         ///< cores sharing an identical A block.
+    int group_w = 1;         ///< cores sharing an identical W block.
+    uint64_t exec_space = 0; ///< per-core SRAM during execution.
+    double fetch_bytes = 0;  ///< per-core on-demand inter-core bytes.
+    double reduce_bytes = 0; ///< per-core partial-sum exchange bytes.
+    /// Per-core HBM bytes consumed *during* execution by chunked
+    /// streamed operands (flash-attention-style KV chunking); zero for
+    /// fully resident plans.
+    double hbm_stream_bytes = 0;
+    double compute_time = 0; ///< per-core pure compute seconds.
+    double exec_time = 0;    ///< estimated per-op execution seconds.
+    /// Chip-level fabric occupancy of this plan's inter-core traffic
+    /// (fetch + reduction aggregated over cores, divided by the peer
+    /// pattern capacity). In bandwidth-bound regimes every operator
+    /// overlaps, so fabric seconds are the true currency (§4.3's
+    /// "divide total traffic by link bandwidth").
+    double fabric_time = 0;
+
+    /// Cost axis used by the §4.3 allocator: per-core execution time
+    /// plus the plan's chip-level fabric occupancy.
+    double time_cost() const { return exec_time + fabric_time; }
+
+    /// Number of cores this plan occupies.
+    long
+    cores_used() const
+    {
+        return static_cast<long>(parts_rows) * parts_cols * parts_k;
+    }
+
+    /// Execute-state resident W bytes per core (what preload+distribute
+    /// must materialize before execution starts).
+    uint64_t w_resident() const { return w_need / repl_w; }
+
+    /// Short human-readable form, e.g. "<8,46,16|a2,w4>".
+    std::string to_string() const;
+};
+
+/**
+ * Preload-state plan for one preloaded operator, relative to its
+ * chosen execute-state plan. gamma is the fraction of the W block the
+ * core receives from the HBM controllers at preload time; the
+ * remaining (w_resident/w_need - gamma) is fetched from peers in the
+ * data-distribution phase when the operator starts executing.
+ */
+struct PreloadPlan {
+    double gamma = 1.0;            ///< preload-received W fraction.
+    uint64_t preload_space = 0;    ///< per-core bytes from preload→exec.
+    double distribute_bytes = 0;   ///< per-core peer bytes at distribution.
+    double distribute_time = 0;    ///< estimated distribution seconds.
+    double noc_delivery_bytes = 0; ///< chip-total HBM→core NoC bytes.
+    /// Fraction of the operator's unique HBM bytes loaded at preload
+    /// time; the remainder streams from HBM during execution (chunked
+    /// streamed operands only — 1.0 otherwise).
+    double dram_fraction = 1.0;
+    /// Extra fabric occupancy caused by broadcast replication beyond
+    /// the unique HBM volume (paper §4.3: interconnect contention of
+    /// overlapped preload and execution, estimated as traffic over
+    /// bandwidth). Part of the plan's cost axis.
+    double delivery_overhead_time = 0;
+
+    /// The §4.3 time cost of this preload-state plan: distribution
+    /// latency plus the replication-induced fabric contention.
+    double
+    time_cost() const
+    {
+        return distribute_time + delivery_overhead_time;
+    }
+};
+
+}  // namespace elk::plan
+
+#endif  // ELK_PLAN_PARTITION_PLAN_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Enumeration of execute-state and preload-state partition plans for a
+ * single operator (paper §4.3, "intra-operator tradeoffs"), with the
+ * per-plan metric computation the scheduler and allocator consume.
+ */
+#ifndef ELK_PLAN_PLAN_ENUMERATOR_H
+#define ELK_PLAN_PLAN_ENUMERATOR_H
+
+#include <vector>
+
+#include "cost/exec_cost.h"
+#include "graph/op.h"
+#include "hw/chip_config.h"
+#include "hw/traffic.h"
+#include "plan/partition_plan.h"
+
+namespace elk::plan {
+
+/// Everything plan metric computation needs about the target.
+struct PlanContext {
+    const hw::ChipConfig* cfg = nullptr;
+    const hw::TrafficModel* traffic = nullptr;
+    const cost::ExecCostModel* exec_cost = nullptr;
+
+    /// SRAM budget per core available to the compiler.
+    uint64_t sram_budget() const { return cfg->usable_sram_per_core(); }
+};
+
+/**
+ * Enumerates Pareto-optimal execute-state plans of @p op: every
+ * combination of partition factors and residency factors that fits the
+ * chip, reduced to the (exec_space, exec_time) Pareto front, sorted
+ * fastest-first (descending memory). Never empty for a well-formed
+ * operator — at minimum the most-partitioned plan survives.
+ */
+std::vector<ExecPlan> enumerate_exec_plans(const graph::Operator& op,
+                                           const PlanContext& ctx);
+
+/**
+ * Enumerates Pareto-optimal preload-state plans for a preloaded @p op
+ * whose execute-state plan is @p exec: gamma sweeps from the full
+ * execute-state residency (MaxPreload, zero distribution) down to
+ * 1/group_w (MinPreload, maximum distribution), paper §4.3's
+ * 1, 1/2, 1/4 example. Sorted by descending preload space.
+ */
+std::vector<PreloadPlan> enumerate_preload_plans(const graph::Operator& op,
+                                                 const ExecPlan& exec,
+                                                 const PlanContext& ctx);
+
+/**
+ * Index (>= @p floor) of the preload plan with the lowest combined
+ * time cost (distribution + delivery-replication fabric overhead) on
+ * a front sorted by descending space — the broadcast/distribution
+ * balance point where allocation walks start.
+ */
+int min_time_cost_index(const std::vector<PreloadPlan>& front,
+                        int floor = 0);
+
+/**
+ * Fills the derived metrics of @p plan for @p op; exposed for tests.
+ * Returns false when the plan is infeasible (tile does not fit in the
+ * SRAM budget or factors exceed dims/cores).
+ */
+bool compute_plan_metrics(const graph::Operator& op, const PlanContext& ctx,
+                          ExecPlan& plan);
+
+}  // namespace elk::plan
+
+#endif  // ELK_PLAN_PLAN_ENUMERATOR_H

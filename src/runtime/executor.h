@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Lowers a compiled ExecutionPlan to a simulator program and runs it —
+ * the equivalent of the paper's code generation + hardware execution
+ * step (§4.5, §5), targeting our virtual ICCA device.
+ */
+#ifndef ELK_RUNTIME_EXECUTOR_H
+#define ELK_RUNTIME_EXECUTOR_H
+
+#include "elk/schedule_ir.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace elk::runtime {
+
+/**
+ * Translates @p plan into the engine's program form: per-operator
+ * preload volumes (DRAM-unique and fabric-delivered), distribution
+ * and execution phases, and the preload issue order/slots.
+ */
+sim::SimProgram lower_to_sim(const graph::Graph& graph,
+                             const compiler::ExecutionPlan& plan,
+                             const plan::PlanContext& ctx);
+
+/// Lowers and runs @p plan on @p machine.
+sim::SimResult run_plan(const sim::Machine& machine,
+                        const graph::Graph& graph,
+                        const compiler::ExecutionPlan& plan,
+                        const plan::PlanContext& ctx);
+
+}  // namespace elk::runtime
+
+#endif  // ELK_RUNTIME_EXECUTOR_H

@@ -1,0 +1,35 @@
+#include "runtime/metrics.h"
+
+#include <cstdio>
+
+namespace elk::runtime {
+
+double
+speedup(const sim::SimResult& a, const sim::SimResult& b)
+{
+    return a.total_time > 0 ? b.total_time / a.total_time : 0.0;
+}
+
+double
+fraction_of_ideal(const sim::SimResult& x, const sim::SimResult& ideal)
+{
+    return x.total_time > 0 ? ideal.total_time / x.total_time : 0.0;
+}
+
+std::string
+ms(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+    return buf;
+}
+
+std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+}  // namespace elk::runtime

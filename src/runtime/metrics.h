@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reporting helpers shared by benches and examples: design-point
+ * bundles, speedups, and the paper's derived metrics.
+ */
+#ifndef ELK_RUNTIME_METRICS_H
+#define ELK_RUNTIME_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace elk::runtime {
+
+/// One (design, measured result) pair, e.g. "Elk-Full" on Llama2-13B.
+struct DesignPoint {
+    std::string design;
+    sim::SimResult result;
+};
+
+/// Latency speedup of @p a over @p b (b.total / a.total).
+double speedup(const sim::SimResult& a, const sim::SimResult& b);
+
+/// Fraction of ideal performance achieved (ideal.total / x.total).
+double fraction_of_ideal(const sim::SimResult& x,
+                         const sim::SimResult& ideal);
+
+/// Milliseconds with 3 significant decimals, as a string.
+std::string ms(double seconds);
+
+/// Percent with one decimal, as a string.
+std::string pct(double fraction);
+
+}  // namespace elk::runtime
+
+#endif  // ELK_RUNTIME_METRICS_H

@@ -1,0 +1,73 @@
+#include "runtime/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace elk::runtime {
+
+std::string
+timing_csv(const graph::Graph& graph, const sim::SimResult& result)
+{
+    std::ostringstream out;
+    out << "op_id,name,kind,pre_start,pre_end,exec_start,exec_end\n";
+    for (const auto& t : result.timing) {
+        const auto& op = graph.op(t.op_id);
+        out << t.op_id << "," << op.name << ","
+            << graph::op_kind_name(op.kind) << "," << t.pre_start << ","
+            << t.pre_end << "," << t.exec_start << "," << t.exec_end
+            << "\n";
+    }
+    return out.str();
+}
+
+void
+export_timing(const graph::Graph& graph, const sim::SimResult& result,
+              const std::string& path)
+{
+    std::ofstream file(path);
+    if (!file) {
+        util::fatal("cannot open for write: " + path);
+    }
+    file << timing_csv(graph, result);
+}
+
+std::string
+timeline_summary(const graph::Graph& graph, const sim::SimResult& result,
+                 int max_rows)
+{
+    std::ostringstream out;
+    const double total = result.total_time;
+    if (total <= 0 || result.timing.empty()) {
+        return "(empty timeline)\n";
+    }
+    const int width = 48;
+    int step = std::max<int>(
+        1, static_cast<int>(result.timing.size()) / max_rows);
+    for (size_t i = 0; i < result.timing.size();
+         i += static_cast<size_t>(step)) {
+        const auto& t = result.timing[i];
+        std::string bar(width, '.');
+        auto mark = [&](double a, double b, char c) {
+            int x0 = static_cast<int>(a / total * (width - 1));
+            int x1 = static_cast<int>(b / total * (width - 1));
+            for (int x = std::max(0, x0);
+                 x <= std::min(width - 1, x1); ++x) {
+                bar[x] = bar[x] == '.' || bar[x] == c ? c : '#';
+            }
+        };
+        mark(t.pre_start, t.pre_end, 'p');
+        mark(t.exec_start, t.exec_end, 'X');
+        char label[64];
+        std::snprintf(label, sizeof(label), "%4d %-14.14s |", t.op_id,
+                      graph.op(t.op_id).name.c_str());
+        out << label << bar << "|\n";
+    }
+    out << "('p' preload, 'X' execute, '#' overlap of the two)\n";
+    return out.str();
+}
+
+}  // namespace elk::runtime

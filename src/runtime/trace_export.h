@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Trace export: dump a simulated run's per-operator phase timings and
+ * the derived utilization timeline as CSV, the equivalent of the
+ * paper artifact's "trace files" output.
+ */
+#ifndef ELK_RUNTIME_TRACE_EXPORT_H
+#define ELK_RUNTIME_TRACE_EXPORT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "sim/trace.h"
+
+namespace elk::runtime {
+
+/// Per-operator phase timing rows (CSV text).
+std::string timing_csv(const graph::Graph& graph,
+                       const sim::SimResult& result);
+
+/// Writes timing_csv to @p path; util::fatal on I/O errors.
+void export_timing(const graph::Graph& graph, const sim::SimResult& result,
+                   const std::string& path);
+
+/**
+ * Gantt-style summary of a run: one line per operator with preload and
+ * execute intervals, for quick terminal inspection of schedules.
+ */
+std::string timeline_summary(const graph::Graph& graph,
+                             const sim::SimResult& result,
+                             int max_rows = 24);
+
+}  // namespace elk::runtime
+
+#endif  // ELK_RUNTIME_TRACE_EXPORT_H

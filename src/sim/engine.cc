@@ -1,0 +1,327 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace elk::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Execution-side phase of the engine's state machine.
+enum class ExecPhase { kWaitPreload, kDistribute, kExecute, kDone };
+
+}  // namespace
+
+void
+SimProgram::finalize_default_order()
+{
+    preload_order.clear();
+    issue_slot.clear();
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+        preload_order.push_back(i);
+        issue_slot.push_back(i);
+    }
+}
+
+void
+SimProgram::validate() const
+{
+    util::check(preload_order.size() == ops.size(),
+                "SimProgram: preload order size mismatch");
+    util::check(issue_slot.size() == preload_order.size(),
+                "SimProgram: issue slot size mismatch");
+    std::vector<bool> seen(ops.size(), false);
+    for (size_t r = 0; r < preload_order.size(); ++r) {
+        int op = preload_order[r];
+        util::check(op >= 0 && op < static_cast<int>(ops.size()),
+                    "SimProgram: bad preload order entry");
+        util::check(!seen[op], "SimProgram: duplicate preload entry");
+        seen[op] = true;
+        util::check(issue_slot[r] >= 0 && issue_slot[r] <= op,
+                    "SimProgram: preload issued after own execute");
+        if (r > 0) {
+            util::check(issue_slot[r] >= issue_slot[r - 1],
+                        "SimProgram: issue slots not monotone");
+        }
+    }
+}
+
+SimResult
+Engine::run(const SimProgram& program) const
+{
+    program.validate();
+    const hw::ChipConfig& cfg = machine_.config();
+    const int n = static_cast<int>(program.ops.size());
+    const int num_preloads = static_cast<int>(program.preload_order.size());
+
+    FluidNetwork net(machine_.capacities());
+
+    SimResult result;
+    result.timing.assign(n, {});
+    for (int i = 0; i < n; ++i) {
+        result.timing[i].op_id = program.ops[i].op_id;
+    }
+
+    // --- state ---
+    double t = 0.0;
+    int exec_i = 0;
+    ExecPhase phase = n > 0 ? ExecPhase::kWaitPreload : ExecPhase::kDone;
+    double phase_local_left = 0.0;   // local timer of the current phase
+    FlowId phase_flow = -1;          // peer flow of the current phase
+    FlowId stream_flow = -1;         // exec-phase HBM stream flow
+    double phase_start = 0.0;
+
+    int pre_r = 0;                   // next preload_order entry to issue
+    FlowId pre_flow = -1;
+    double pre_latency_left = 0.0;   // HBM access latency before flow
+    int pre_op = -1;                 // op currently preloading
+    int completed_execs = 0;
+    std::vector<bool> preload_done(n, false);
+
+    double occupancy = 0.0;          // per-core bytes
+    double peak = 0.0;
+
+    // --- accounting integrals ---
+    double hbm_busy = 0.0;
+    double fabric_preload = 0.0;
+    double fabric_peer = 0.0;
+    const int pre_fab = machine_.fabric_resource_for_preload();
+    const int peer_fab = machine_.fabric_resource_for_peer();
+
+    auto preload_active = [&] {
+        return pre_op >= 0;
+    };
+    auto exec_active = [&] {
+        return phase == ExecPhase::kDistribute ||
+               phase == ExecPhase::kExecute;
+    };
+
+    // Standalone (contention-free) durations, for stall attribution.
+    auto standalone_preload = [&](const SimOp& op) {
+        double dram = op.dram_bytes / cfg.hbm_total_bw;
+        double fabric = op.delivery_bytes / machine_.delivery_capacity();
+        return cfg.hbm_access_latency_s + std::max(dram, fabric);
+    };
+    auto standalone_exec = [&](const SimOp& op) {
+        return std::max({op.exec_local_time,
+                         op.fetch_bytes / machine_.peer_capacity(),
+                         op.exec_stream_dram / cfg.hbm_total_bw});
+    };
+    auto standalone_distribute = [&](const SimOp& op) {
+        return std::max(op.distribute_local_time,
+                        op.distribute_bytes / machine_.peer_capacity());
+    };
+
+    int guard = 0;
+    const int guard_limit = 64 * (n + 1) + 1024;
+
+    while (phase != ExecPhase::kDone || pre_r < num_preloads ||
+           preload_active()) {
+        util::check(++guard < guard_limit, "Engine: no forward progress");
+
+        // ---- state transitions (repeat until quiescent) ----
+        bool moved = true;
+        while (moved) {
+            moved = false;
+
+            // Issue the next preload when its slot's predecessors are
+            // done and the previous preload finished.
+            if (!preload_active() && pre_r < num_preloads) {
+                int op_idx = program.preload_order[pre_r];
+                int slot = program.issue_slot[pre_r];
+                if (completed_execs >= slot) {
+                    const SimOp& op = program.ops[op_idx];
+                    result.timing[op_idx].pre_start = t;
+                    if (op.dram_bytes <= 0.0) {
+                        result.timing[op_idx].pre_end = t;
+                        preload_done[op_idx] = true;
+                        occupancy += static_cast<double>(op.preload_space);
+                        ++pre_r;
+                    } else {
+                        pre_op = op_idx;
+                        pre_latency_left = cfg.hbm_access_latency_s;
+                        occupancy += static_cast<double>(op.preload_space);
+                        ++pre_r;
+                    }
+                    peak = std::max(peak, occupancy);
+                    moved = true;
+                    continue;
+                }
+            }
+
+            // Preload latency elapsed: start the HBM flow.
+            if (preload_active() && pre_flow < 0 &&
+                pre_latency_left <= 0.0) {
+                const SimOp& op = program.ops[pre_op];
+                pre_flow = net.add_flow(
+                    op.dram_bytes,
+                    machine_.preload_weights(op.dram_bytes,
+                                             op.delivery_bytes),
+                    FlowTag::kHbmPreload);
+                moved = true;
+                continue;
+            }
+
+            // Preload flow completed.
+            if (preload_active() && pre_flow >= 0 &&
+                !net.flow_active(pre_flow)) {
+                result.timing[pre_op].pre_end = t;
+                result.interconnect_stall +=
+                    std::max(0.0, (t - result.timing[pre_op].pre_start) -
+                                      standalone_preload(
+                                          program.ops[pre_op]));
+                preload_done[pre_op] = true;
+                pre_op = -1;
+                pre_flow = -1;
+                moved = true;
+                continue;
+            }
+
+            // Execute side transitions.
+            if (phase == ExecPhase::kWaitPreload && exec_i < n &&
+                preload_done[exec_i]) {
+                const SimOp& op = program.ops[exec_i];
+                result.timing[exec_i].exec_start = t;
+                occupancy += static_cast<double>(op.exec_space) -
+                             static_cast<double>(op.preload_space);
+                peak = std::max(peak, occupancy);
+                phase = ExecPhase::kDistribute;
+                phase_start = t;
+                phase_local_left = op.distribute_local_time;
+                phase_flow =
+                    op.distribute_bytes > 0
+                        ? net.add_flow(op.distribute_bytes,
+                                       machine_.peer_weights(),
+                                       FlowTag::kDistribute)
+                        : -1;
+                moved = true;
+                continue;
+            }
+            if (phase == ExecPhase::kDistribute &&
+                phase_local_left <= 0.0 &&
+                (phase_flow < 0 || !net.flow_active(phase_flow))) {
+                const SimOp& op = program.ops[exec_i];
+                result.interconnect_stall += std::max(
+                    0.0, (t - phase_start) - standalone_distribute(op));
+                phase = ExecPhase::kExecute;
+                phase_start = t;
+                phase_local_left = op.exec_local_time;
+                phase_flow = op.fetch_bytes > 0
+                                 ? net.add_flow(op.fetch_bytes,
+                                                machine_.peer_weights(),
+                                                FlowTag::kExecFetch)
+                                 : -1;
+                // Chunked streamed operands keep drawing their HBM
+                // bytes while executing, contending with preloads.
+                stream_flow =
+                    op.exec_stream_dram > 0
+                        ? net.add_flow(
+                              op.exec_stream_dram,
+                              machine_.preload_weights(
+                                  op.exec_stream_dram,
+                                  op.exec_stream_dram),
+                              FlowTag::kHbmPreload)
+                        : -1;
+                moved = true;
+                continue;
+            }
+            if (phase == ExecPhase::kExecute && phase_local_left <= 0.0 &&
+                (phase_flow < 0 || !net.flow_active(phase_flow)) &&
+                (stream_flow < 0 || !net.flow_active(stream_flow))) {
+                const SimOp& op = program.ops[exec_i];
+                result.timing[exec_i].exec_end = t;
+                result.interconnect_stall += std::max(
+                    0.0, (t - phase_start) - standalone_exec(op));
+                occupancy -= static_cast<double>(op.exec_space);
+                ++completed_execs;
+                ++exec_i;
+                phase_flow = -1;
+                stream_flow = -1;
+                if (exec_i >= n) {
+                    phase = ExecPhase::kDone;
+                } else {
+                    phase = ExecPhase::kWaitPreload;
+                }
+                moved = true;
+                continue;
+            }
+        }
+
+        if (phase == ExecPhase::kDone && pre_r >= num_preloads &&
+            !preload_active()) {
+            break;
+        }
+
+        // ---- determine the next event horizon ----
+        double dt = net.time_to_next_completion();
+        if (preload_active() && pre_flow < 0 && pre_latency_left > 0) {
+            dt = std::min(dt, pre_latency_left);
+        }
+        if ((phase == ExecPhase::kDistribute ||
+             phase == ExecPhase::kExecute) &&
+            phase_local_left > 0) {
+            dt = std::min(dt, phase_local_left);
+        }
+        util::check(std::isfinite(dt) && dt >= 0,
+                    "Engine: stalled with no pending event");
+        dt = std::max(dt, 0.0);
+
+        // ---- integrate accounting over dt ----
+        if (dt > 0) {
+            double hbm_cap = net.capacity(Resources::kHbmDram);
+            hbm_busy +=
+                dt * net.resource_usage(Resources::kHbmDram) / hbm_cap;
+            fabric_preload +=
+                dt * net.resource_usage(pre_fab, FlowTag::kHbmPreload);
+            fabric_peer +=
+                dt * (net.resource_usage(peer_fab, FlowTag::kDistribute) +
+                      net.resource_usage(peer_fab, FlowTag::kExecFetch));
+            bool e = exec_active();
+            bool p = preload_active();
+            if (e && p) {
+                result.overlapped += dt;
+            } else if (e) {
+                result.execute_only += dt;
+            } else {
+                result.preload_only += dt;
+            }
+        }
+
+        // ---- advance ----
+        net.advance(dt);
+        if (preload_active() && pre_flow < 0) {
+            pre_latency_left -= dt;
+        }
+        if ((phase == ExecPhase::kDistribute ||
+             phase == ExecPhase::kExecute) &&
+            phase_local_left > 0) {
+            phase_local_left -= dt;
+        }
+        t += dt;
+    }
+
+    // ---- final metrics ----
+    result.total_time = t;
+    double total_flops = 0.0;
+    for (const auto& op : program.ops) {
+        total_flops += op.flops;
+    }
+    if (t > 0) {
+        result.hbm_util = hbm_busy / t;
+        result.noc_util_preload = fabric_preload / t;
+        result.noc_util_peer = fabric_peer / t;
+        result.noc_util = result.noc_util_preload + result.noc_util_peer;
+        result.achieved_tflops = total_flops / t / 1e12;
+    }
+    result.peak_sram_per_core = static_cast<uint64_t>(peak);
+    result.memory_exceeded =
+        result.peak_sram_per_core > cfg.usable_sram_per_core();
+    return result;
+}
+
+}  // namespace elk::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Event-driven execution engine for ICCA chip programs.
+ *
+ * The engine interprets a SimProgram — the device-level program of
+ * paper §4.5: a sequence of preload_async and execute calls with
+ * one-way synchronization:
+ *
+ *  1. an execute blocks all preload_asyncs and executes that appear
+ *     after it in program order until it finishes;
+ *  2. preload_asyncs run sequentially in issue order;
+ *  3. preload_async(i) blocks only execute(i) (done-tag wait).
+ *
+ * Every execute runs as a data-distribution phase (peer flow + local
+ * SRAM time) followed by an execution phase (fixed local compute time
+ * plus an on-demand inter-core fetch flow). Preloads are HBM flows.
+ * All flows share the machine's resources through the FluidNetwork,
+ * so HBM delivery and inter-core exchange contend for the fabric
+ * exactly as in paper Fig. 2.
+ */
+#ifndef ELK_SIM_ENGINE_H
+#define ELK_SIM_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/trace.h"
+
+namespace elk::sim {
+
+/// One operator's simulation parameters (already planned/compiled).
+struct SimOp {
+    int op_id = -1;
+    std::string name;
+
+    // --- preload ---
+    double dram_bytes = 0.0;      ///< unique bytes read from HBM.
+    double delivery_bytes = 0.0;  ///< fabric bytes delivered to cores.
+    uint64_t preload_space = 0;   ///< per-core bytes while resident.
+
+    // --- distribution (preload-state -> execute-state) ---
+    double distribute_bytes = 0.0;      ///< aggregate peer bytes.
+    double distribute_local_time = 0.0; ///< SRAM copy-in time.
+
+    // --- execution ---
+    double exec_local_time = 0.0;  ///< compute + SRAM-contention time.
+    double fetch_bytes = 0.0;      ///< aggregate on-demand peer bytes
+                                   ///< (includes reductions).
+    /// Aggregate HBM bytes streamed from DRAM during execution
+    /// (chunked KV consumption); contends with ongoing preloads.
+    double exec_stream_dram = 0.0;
+    uint64_t exec_space = 0;       ///< per-core bytes while executing.
+    double flops = 0.0;
+};
+
+/// Full program: operators in execution order plus the preload order.
+struct SimProgram {
+    std::vector<SimOp> ops;  ///< indexed by execution order.
+    /// Execution-order indices in preload issue order.
+    std::vector<int> preload_order;
+    /// For preload_order[r]: the execution index before which the
+    /// preload_async is issued (it must wait for execute(slot-1)).
+    std::vector<int> issue_slot;
+
+    /// Builds identity preload order with slots = own exec index.
+    void finalize_default_order();
+
+    /// Sanity checks (sizes match, slots valid); panics on violation.
+    void validate() const;
+};
+
+/// Runs SimPrograms on a Machine.
+class Engine {
+  public:
+    explicit Engine(const Machine& machine) : machine_(machine) {}
+
+    /// Simulates @p program to completion and returns the trace.
+    SimResult run(const SimProgram& program) const;
+
+  private:
+    const Machine& machine_;
+};
+
+}  // namespace elk::sim
+
+#endif  // ELK_SIM_ENGINE_H

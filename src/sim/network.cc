@@ -1,0 +1,191 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace elk::sim {
+
+namespace {
+constexpr double kEpsilonBytes = 1e-6;
+}
+
+FluidNetwork::FluidNetwork(std::vector<double> capacities)
+    : capacities_(std::move(capacities))
+{
+    for (double c : capacities_) {
+        util::check(c > 0, "FluidNetwork: non-positive capacity");
+    }
+}
+
+FlowId
+FluidNetwork::add_flow(double bytes, std::map<int, double> weights,
+                       FlowTag tag)
+{
+    util::check(bytes > 0, "FluidNetwork: flow with no bytes");
+    Flow f;
+    f.remaining = bytes;
+    f.weights = std::move(weights);
+    f.tag = tag;
+    for (const auto& [res, w] : f.weights) {
+        util::check(res >= 0 && res < static_cast<int>(capacities_.size()),
+                    "FluidNetwork: bad resource index");
+        util::check(w > 0, "FluidNetwork: non-positive weight");
+    }
+    flows_.push_back(std::move(f));
+    assign_rates();
+    return static_cast<FlowId>(flows_.size() - 1);
+}
+
+bool
+FluidNetwork::flow_active(FlowId id) const
+{
+    return flows_[id].active;
+}
+
+double
+FluidNetwork::flow_rate(FlowId id) const
+{
+    return flows_[id].active ? flows_[id].rate : 0.0;
+}
+
+void
+FluidNetwork::assign_rates()
+{
+    // Progressive filling: all unfixed flows share a common rate that
+    // grows until some resource saturates; flows traversing a
+    // saturated resource freeze at the current rate.
+    std::vector<int> unfixed;
+    for (size_t i = 0; i < flows_.size(); ++i) {
+        if (flows_[i].active) {
+            flows_[i].rate = 0.0;
+            unfixed.push_back(static_cast<int>(i));
+        }
+    }
+    std::vector<double> left = capacities_;
+
+    while (!unfixed.empty()) {
+        // Headroom per resource given the unfixed flows' weights.
+        double delta = std::numeric_limits<double>::infinity();
+        for (size_t res = 0; res < capacities_.size(); ++res) {
+            double weight_sum = 0.0;
+            for (int i : unfixed) {
+                auto it = flows_[i].weights.find(static_cast<int>(res));
+                if (it != flows_[i].weights.end()) {
+                    weight_sum += it->second;
+                }
+            }
+            if (weight_sum > 0) {
+                delta = std::min(delta, left[res] / weight_sum);
+            }
+        }
+        if (!std::isfinite(delta)) {
+            break;  // remaining flows use no constrained resource
+        }
+
+        // Grow everyone, charge resources.
+        for (int i : unfixed) {
+            flows_[i].rate += delta;
+            for (const auto& [res, w] : flows_[i].weights) {
+                left[res] -= delta * w;
+            }
+        }
+
+        // Freeze flows on (numerically) saturated resources.
+        std::vector<int> next;
+        for (int i : unfixed) {
+            bool saturated = false;
+            for (const auto& [res, w] : flows_[i].weights) {
+                if (left[res] <= 1e-9 * capacities_[res]) {
+                    saturated = true;
+                    break;
+                }
+            }
+            if (!saturated) {
+                next.push_back(i);
+            }
+        }
+        if (next.size() == unfixed.size()) {
+            break;  // no progress possible (shouldn't happen)
+        }
+        unfixed = std::move(next);
+    }
+}
+
+double
+FluidNetwork::time_to_next_completion() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& f : flows_) {
+        if (f.active && f.rate > 0) {
+            best = std::min(best, f.remaining / f.rate);
+        }
+    }
+    return best;
+}
+
+void
+FluidNetwork::advance(double dt)
+{
+    bool changed = false;
+    for (auto& f : flows_) {
+        if (!f.active) {
+            continue;
+        }
+        f.remaining -= f.rate * dt;
+        if (f.remaining <= kEpsilonBytes) {
+            f.remaining = 0.0;
+            f.active = false;
+            changed = true;
+        }
+    }
+    if (changed) {
+        assign_rates();
+    }
+}
+
+double
+FluidNetwork::resource_usage(int resource, FlowTag tag) const
+{
+    double usage = 0.0;
+    for (const auto& f : flows_) {
+        if (!f.active || f.tag != tag) {
+            continue;
+        }
+        auto it = f.weights.find(resource);
+        if (it != f.weights.end()) {
+            usage += f.rate * it->second;
+        }
+    }
+    return usage;
+}
+
+double
+FluidNetwork::resource_usage(int resource) const
+{
+    double usage = 0.0;
+    for (const auto& f : flows_) {
+        if (!f.active) {
+            continue;
+        }
+        auto it = f.weights.find(resource);
+        if (it != f.weights.end()) {
+            usage += f.rate * it->second;
+        }
+    }
+    return usage;
+}
+
+int
+FluidNetwork::num_active() const
+{
+    int n = 0;
+    for (const auto& f : flows_) {
+        n += f.active ? 1 : 0;
+    }
+    return n;
+}
+
+}  // namespace elk::sim

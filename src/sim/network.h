@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fluid flow network with weighted max-min fair bandwidth sharing.
+ *
+ * The simulator models the chip's shared resources (HBM DRAM bandwidth
+ * and the interconnect fabric) as capacity pools. A flow moves a byte
+ * volume and consumes each resource proportionally to a per-resource
+ * weight: a flow progressing at rate r (bytes/s) uses r * weight of a
+ * resource's capacity. Weights encode traffic-pattern efficiency: an
+ * HBM broadcast with replication rho consumes the fabric at rho times
+ * its unique-byte rate; a peer-exchange flow on a mesh consumes
+ * 1/pattern-capacity per byte (paper §5: per-link sequential service,
+ * summarized by the TrafficModel's bottleneck analysis).
+ *
+ * Rates are assigned by progressive filling (weighted max-min): all
+ * unfixed flows grow at equal rates until a resource saturates; its
+ * flows freeze; repeat. When preload delivery and inter-core exchange
+ * are simultaneously active on the fabric, both slow down — the
+ * interconnect-contention behaviour of paper Fig. 2 (tussle 2).
+ */
+#ifndef ELK_SIM_NETWORK_H
+#define ELK_SIM_NETWORK_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace elk::sim {
+
+/// Flow identifier returned by FluidNetwork::add_flow.
+using FlowId = int;
+
+/// Category tag used for utilization attribution.
+enum class FlowTag {
+    kHbmPreload,   ///< HBM DRAM read + controller-to-core delivery.
+    kDistribute,   ///< preload-to-execute state data distribution.
+    kExecFetch,    ///< on-demand inter-core fetch during execution.
+};
+
+/// Resource indices used by the machine model.
+struct Resources {
+    static constexpr int kHbmDram = 0;  ///< aggregate DRAM bandwidth.
+    static constexpr int kFabric = 1;   ///< interconnect fabric (normalized).
+    static constexpr int kCount = 2;
+};
+
+/// One active flow.
+struct Flow {
+    double remaining = 0.0;  ///< bytes left.
+    double rate = 0.0;       ///< current bytes/s (assigned).
+    std::map<int, double> weights;  ///< resource -> usage per byte/s.
+    FlowTag tag = FlowTag::kHbmPreload;
+    bool active = true;
+};
+
+/**
+ * The fluid network: tracks active flows, assigns max-min fair rates,
+ * and advances simulated time to flow completions.
+ */
+class FluidNetwork {
+  public:
+    /// Creates a network with the given per-resource capacities.
+    explicit FluidNetwork(std::vector<double> capacities);
+
+    /// Adds a flow of @p bytes with resource @p weights; returns its id.
+    FlowId add_flow(double bytes, std::map<int, double> weights,
+                    FlowTag tag);
+
+    /// True while the flow has bytes remaining.
+    bool flow_active(FlowId id) const;
+
+    /// Current rate of a flow (bytes/s).
+    double flow_rate(FlowId id) const;
+
+    /// Seconds until the earliest active flow completes; +inf if none.
+    double time_to_next_completion() const;
+
+    /**
+     * Advances all active flows by @p dt seconds at their current
+     * rates, deactivating flows that complete (remaining <= epsilon).
+     */
+    void advance(double dt);
+
+    /// Sum over active flows with @p tag of rate * weight[resource].
+    double resource_usage(int resource, FlowTag tag) const;
+
+    /// Total usage of @p resource across all active flows.
+    double resource_usage(int resource) const;
+
+    /// Capacity of @p resource.
+    double capacity(int resource) const { return capacities_[resource]; }
+
+    /// Number of currently active flows.
+    int num_active() const;
+
+  private:
+    /// Recomputes all rates by progressive filling.
+    void assign_rates();
+
+    std::vector<double> capacities_;
+    std::vector<Flow> flows_;
+};
+
+}  // namespace elk::sim
+
+#endif  // ELK_SIM_NETWORK_H

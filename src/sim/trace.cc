@@ -1,0 +1,19 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace elk::sim {
+
+std::string
+SimResult::summary() const
+{
+    std::ostringstream out;
+    out << "total " << total_time * 1e3 << " ms"
+        << " | hbm " << hbm_util * 100 << "%"
+        << " | noc " << noc_util * 100 << "%"
+        << " | " << achieved_tflops << " TFLOPS"
+        << " | peak sram/core " << peak_sram_per_core / 1024 << " KB";
+    return out.str();
+}
+
+}  // namespace elk::sim

@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace elk::util {
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (double x : xs) {
+        sum += x;
+    }
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stdev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2) {
+        return 0.0;
+    }
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) {
+        acc += (x - m) * (x - m);
+    }
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    std::sort(xs.begin(), xs.end());
+    double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+mape(const std::vector<double>& measured, const std::vector<double>& predicted)
+{
+    check(measured.size() == predicted.size(), "mape: size mismatch");
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0) {
+            continue;
+        }
+        acc += std::fabs(predicted[i] - measured[i]) / std::fabs(measured[i]);
+        ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double
+r_squared(const std::vector<double>& measured,
+          const std::vector<double>& predicted)
+{
+    check(measured.size() == predicted.size(), "r_squared: size mismatch");
+    if (measured.empty()) {
+        return 0.0;
+    }
+    double m = mean(measured);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < measured.size(); ++i) {
+        ss_res += (measured[i] - predicted[i]) * (measured[i] - predicted[i]);
+        ss_tot += (measured[i] - m) * (measured[i] - m);
+    }
+    if (ss_tot == 0.0) {
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    }
+    return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace elk::util

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small statistics helpers used by the cost-model validation (Fig. 12)
+ * and by benchmark reporting.
+ */
+#ifndef ELK_UTIL_STATS_H
+#define ELK_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace elk::util {
+
+/// Arithmetic mean; returns 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; returns 0 for fewer than 2 samples.
+double stdev(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) by linear interpolation on sorted copy.
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Mean absolute percentage error of predictions vs. measurements.
+ * Entries with measured == 0 are skipped.
+ */
+double mape(const std::vector<double>& measured,
+            const std::vector<double>& predicted);
+
+/// Coefficient of determination (R^2) of predictions vs. measurements.
+double r_squared(const std::vector<double>& measured,
+                 const std::vector<double>& predicted);
+
+/**
+ * Online accumulator for a time-weighted utilization average, used for
+ * HBM/NoC utilization reporting: add (duration, value) slices and read
+ * the weighted mean.
+ */
+class WeightedMean {
+  public:
+    /// Adds a slice of @p duration seconds at @p value.
+    void
+    add(double duration, double value)
+    {
+        total_weight_ += duration;
+        total_value_ += duration * value;
+    }
+
+    /// Weighted mean; 0 when nothing was added.
+    double
+    value() const
+    {
+        return total_weight_ > 0 ? total_value_ / total_weight_ : 0.0;
+    }
+
+    /// Total accumulated weight (seconds).
+    double weight() const { return total_weight_; }
+
+  private:
+    double total_weight_ = 0.0;
+    double total_value_ = 0.0;
+};
+
+}  // namespace elk::util
+
+#endif  // ELK_UTIL_STATS_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Text-table and CSV writers used by the benchmark harness to print the
+ * rows/series that each paper table/figure reports.
+ */
+#ifndef ELK_UTIL_TABLE_H
+#define ELK_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace elk::util {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned text
+ * table (for stdout) and/or a CSV file (for plotting scripts).
+ */
+class Table {
+  public:
+    /// Creates a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats each value with operator<< semantics.
+    template <typename... Ts>
+    void
+    add(const Ts&... values)
+    {
+        add_row({format_cell(values)...});
+    }
+
+    /// Renders the aligned text table.
+    std::string to_text() const;
+
+    /// Renders RFC-4180-ish CSV (no embedded quotes supported).
+    std::string to_csv() const;
+
+    /// Prints the text table to stdout with a title line.
+    void print(const std::string& title) const;
+
+    /**
+     * Writes the CSV form under `bench_results/<name>.csv` relative to
+     * the current working directory, creating the directory if needed.
+     */
+    void write_csv(const std::string& name) const;
+
+    /// Number of data rows.
+    size_t num_rows() const { return rows_.size(); }
+
+    /// Formats a double with adaptive precision; passthrough for strings.
+    static std::string format_cell(const std::string& v) { return v; }
+    static std::string format_cell(const char* v) { return v; }
+    static std::string format_cell(double v);
+    static std::string format_cell(int v);
+    static std::string format_cell(long v);
+    static std::string format_cell(unsigned long v);
+    static std::string format_cell(unsigned long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elk::util
+
+#endif  // ELK_UTIL_TABLE_H

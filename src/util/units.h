@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unit helpers for byte sizes, bandwidths and FLOP rates.
+ *
+ * Throughout the codebase: sizes are in bytes (uint64_t), times in
+ * seconds (double), bandwidths in bytes/second (double) and compute
+ * rates in FLOP/s (double).
+ */
+#ifndef ELK_UTIL_UNITS_H
+#define ELK_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace elk::util {
+
+/// Kibibytes to bytes.
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+/// Mebibytes to bytes.
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+/// Gibibytes to bytes.
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/// Decimal giga (used for bandwidths and FLOP rates, matching vendor specs).
+constexpr double kGiga = 1e9;
+/// Decimal tera.
+constexpr double kTera = 1e12;
+
+/// Gigabytes/second to bytes/second.
+constexpr double gbps(double v) { return v * kGiga; }
+/// Terabytes/second to bytes/second.
+constexpr double tbps(double v) { return v * kTera; }
+/// TFLOP/s to FLOP/s.
+constexpr double tflops(double v) { return v * kTera; }
+
+/// Seconds to milliseconds (for reporting).
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+/// Seconds to microseconds (for reporting).
+constexpr double to_us(double seconds) { return seconds * 1e6; }
+
+}  // namespace elk::util
+
+#endif  // ELK_UTIL_UNITS_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the cost models: analytic/detailed tile costs, the
+ * linear-tree regressor, transfer and HBM costs, and the profiler fit
+ * quality (the Fig. 12 methodology at unit-test scale).
+ */
+#include <gtest/gtest.h>
+
+#include "cost/exec_cost.h"
+#include "cost/hbm_cost.h"
+#include "cost/linear_tree.h"
+#include "cost/profiler.h"
+#include "cost/transfer_cost.h"
+#include "util/stats.h"
+
+namespace elk::cost {
+namespace {
+
+TEST(TileWorkTest, FlopsAndBytes)
+{
+    TileWork t;
+    t.kind = graph::OpKind::kMatMul;
+    t.rows = 4;
+    t.n = 8;
+    t.k = 16;
+    EXPECT_DOUBLE_EQ(t.flops(), 2.0 * 4 * 8 * 16);
+    EXPECT_DOUBLE_EQ(t.bytes_touched(), (4 * 16 + 16 * 8 + 4 * 8) * 2.0);
+}
+
+TEST(ExecCostTest, AnalyticMonotoneInSize)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    AnalyticExecCost model;
+    TileWork small{graph::OpKind::kMatMul, 4, 64, 64, 2};
+    TileWork large{graph::OpKind::kMatMul, 8, 128, 128, 2};
+    EXPECT_LT(model.tile_time(small, cfg), model.tile_time(large, cfg));
+}
+
+TEST(ExecCostTest, MatmulFasterThanVectorPerFlop)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    AnalyticExecCost model;
+    TileWork mm{graph::OpKind::kMatMul, 64, 64, 64, 2};
+    TileWork ew{graph::OpKind::kElementwise, 64, 64 * 64, 1, 2};
+    double mm_per_flop = model.tile_time(mm, cfg) / mm.flops();
+    double ew_per_flop = model.tile_time(ew, cfg) / ew.flops();
+    EXPECT_LT(mm_per_flop, ew_per_flop);
+}
+
+TEST(ExecCostTest, PipelineEfficiencyPenalizesRaggedShapes)
+{
+    EXPECT_DOUBLE_EQ(matmul_pipeline_efficiency(64, 64), 1.0);
+    EXPECT_LT(matmul_pipeline_efficiency(63, 64), 1.0);
+    EXPECT_LT(matmul_pipeline_efficiency(64, 17), 1.0);
+}
+
+TEST(ExecCostTest, DetailedAtLeastLaunchOverhead)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    TileWork t{graph::OpKind::kElementwise, 1, 1, 1, 2};
+    EXPECT_GE(detailed_tile_time(t, cfg), cfg.tile_launch_overhead_s);
+}
+
+TEST(TransferCostTest, ZeroBytesIsFree)
+{
+    EXPECT_DOUBLE_EQ(link_transfer_time(0, 1e9, 1e-7, 8192), 0.0);
+}
+
+TEST(TransferCostTest, ComponentsAddUp)
+{
+    double t = link_transfer_time(16384, 1e9, 1e-7, 8192);
+    // latency + bytes/bw + 2 messages of overhead.
+    EXPECT_NEAR(t, 1e-7 + 16384 / 1e9 + 2 * kPerMessageOverheadS, 1e-12);
+}
+
+TEST(HbmCostTest, Roofline)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    EXPECT_DOUBLE_EQ(hbm_load_time(0, cfg), 0.0);
+    EXPECT_NEAR(hbm_load_time(16e12, cfg), 1.0 + cfg.hbm_access_latency_s,
+                1e-9);
+}
+
+TEST(LinearTreeTest, FitsLinearFunctionExactly)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        double a = i;
+        double b = (i * 37) % 101;  // independent of a
+        x.push_back({a, b});
+        y.push_back(3.0 * a - 2.0 * b + 7.0);
+    }
+    LinearTreeModel model;
+    model.fit(x, y);
+    EXPECT_TRUE(model.trained());
+    EXPECT_NEAR(model.predict({10, 20}), 3.0 * 10 - 2.0 * 20 + 7.0, 1e-6);
+}
+
+TEST(LinearTreeTest, SplitsPiecewiseFunction)
+{
+    // y = x for x <= 50, y = 10x for x > 50: needs at least one split.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        double v = i;
+        x.push_back({v});
+        y.push_back(v <= 100 ? v : 10.0 * v);
+    }
+    LinearTreeModel model;
+    model.fit(x, y);
+    EXPECT_GT(model.num_nodes(), 1u);
+    EXPECT_NEAR(model.predict({50}), 50, 5);
+    EXPECT_NEAR(model.predict({150}), 1500, 50);
+}
+
+TEST(LinearTreeTest, FitLinearRidge)
+{
+    std::vector<std::vector<double>> x{{1}, {2}, {3}};
+    std::vector<double> y{2, 4, 6};
+    auto w = fit_linear(x, y, {0, 1, 2}, 1e-9);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_NEAR(w[0], 2.0, 1e-4);
+    EXPECT_NEAR(w[1], 0.0, 1e-3);
+}
+
+TEST(ProfilerTest, SamplesFitInSram)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    auto samples = profile_tiles(graph::OpKind::kMatMul, 50, cfg, 1);
+    ASSERT_EQ(samples.size(), 50u);
+    for (const auto& s : samples) {
+        EXPECT_LE(s.tile.bytes_touched(),
+                  static_cast<double>(cfg.usable_sram_per_core()));
+        EXPECT_GT(s.measured, 0.0);
+    }
+}
+
+TEST(ProfilerTest, FittedModelAccuracy)
+{
+    // The heart of Fig. 12: the fitted model should track the detailed
+    // model within a small error on held-out tiles.
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    FittedExecCost fitted = FittedExecCost::train(cfg, 300, /*seed=*/3);
+
+    for (auto kind : {graph::OpKind::kMatMul, graph::OpKind::kElementwise,
+                      graph::OpKind::kSoftmax}) {
+        auto holdout = profile_tiles(kind, 120, cfg, /*seed=*/99,
+                                     /*noise_sigma=*/0.0);
+        std::vector<double> measured, predicted;
+        for (const auto& s : holdout) {
+            measured.push_back(s.measured);
+            predicted.push_back(fitted.tile_time(s.tile, cfg));
+        }
+        EXPECT_GT(util::r_squared(measured, predicted), 0.90)
+            << graph::op_kind_name(kind);
+    }
+}
+
+TEST(ProfilerTest, TransferSamplesMonotoneInExpectation)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::ipu_pod4();
+    auto samples = profile_transfers(100, cfg, 5, 0.0);
+    for (const auto& [bytes, t] : samples) {
+        EXPECT_NEAR(t, inter_core_transfer_time(bytes, cfg), 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace elk::cost

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the §7-extension energy model.
+ */
+#include <gtest/gtest.h>
+
+#include "cost/energy_model.h"
+#include "elk/compiler.h"
+#include "runtime/executor.h"
+#include "test_helpers.h"
+
+namespace elk::cost {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+  protected:
+    EnergyTest()
+        : h_(testing::CompilerHarness::tiny()),
+          compiler_(h_.graph, h_.cfg),
+          machine_(h_.cfg)
+    {
+    }
+
+    std::pair<sim::SimProgram, sim::SimResult>
+    run(compiler::Mode mode)
+    {
+        compiler::CompileOptions opts;
+        opts.mode = mode;
+        auto compiled = compiler_.compile(opts);
+        auto program = runtime::lower_to_sim(h_.graph, compiled.plan,
+                                             compiler_.context());
+        sim::Engine engine(machine_);
+        return {program, engine.run(program)};
+    }
+
+    testing::CompilerHarness h_;
+    compiler::Compiler compiler_;
+    sim::Machine machine_;
+};
+
+TEST_F(EnergyTest, ComponentsPositiveAndSum)
+{
+    auto [program, result] = run(compiler::Mode::kElkDyn);
+    auto report = estimate_energy(program, result, h_.cfg,
+                                  machine_.traffic().avg_hops());
+    EXPECT_GT(report.compute, 0.0);
+    EXPECT_GT(report.sram, 0.0);
+    EXPECT_GT(report.noc, 0.0);
+    EXPECT_GT(report.hbm, 0.0);
+    EXPECT_GT(report.static_energy, 0.0);
+    EXPECT_NEAR(report.total(),
+                report.compute + report.sram + report.noc + report.hbm +
+                    report.static_energy,
+                1e-15);
+    EXPECT_GT(report.average_power(result.total_time), 0.0);
+}
+
+TEST_F(EnergyTest, FasterScheduleBurnsLessStaticEnergy)
+{
+    auto [bp, br] = run(compiler::Mode::kBasic);
+    auto [fp, fr] = run(compiler::Mode::kElkFull);
+    double hops = machine_.traffic().avg_hops();
+    auto basic = estimate_energy(bp, br, h_.cfg, hops);
+    auto full = estimate_energy(fp, fr, h_.cfg, hops);
+    // Same model => same DRAM/compute energy (within chunking noise);
+    // the faster schedule pays less leakage.
+    EXPECT_LT(full.static_energy, basic.static_energy * 1.001);
+    EXPECT_NEAR(full.compute, basic.compute, basic.compute * 1e-9);
+}
+
+TEST_F(EnergyTest, HbmEnergyTracksUniqueBytes)
+{
+    auto [program, result] = run(compiler::Mode::kElkDyn);
+    EnergyParams params;
+    auto report = estimate_energy(program, result, h_.cfg,
+                                  machine_.traffic().avg_hops(), params);
+    double expected = static_cast<double>(h_.graph.total_hbm_bytes()) *
+                      params.pj_per_hbm_byte * 1e-12;
+    EXPECT_NEAR(report.hbm, expected, expected * 1e-6);
+}
+
+TEST_F(EnergyTest, ParamsScaleLinearly)
+{
+    auto [program, result] = run(compiler::Mode::kElkDyn);
+    double hops = machine_.traffic().avg_hops();
+    EnergyParams base;
+    EnergyParams doubled = base;
+    doubled.pj_per_hbm_byte *= 2;
+    auto a = estimate_energy(program, result, h_.cfg, hops, base);
+    auto b = estimate_energy(program, result, h_.cfg, hops, doubled);
+    EXPECT_NEAR(b.hbm, 2.0 * a.hbm, a.hbm * 1e-9);
+    EXPECT_NEAR(b.compute, a.compute, 1e-15);
+}
+
+}  // namespace
+}  // namespace elk::cost

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the plan -> simulator lowering (runtime/executor) and
+ * the Ideal roofline plan.
+ */
+#include <gtest/gtest.h>
+
+#include "elk/compiler.h"
+#include "elk/ideal.h"
+#include "runtime/executor.h"
+#include "test_helpers.h"
+
+namespace elk::runtime {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+  protected:
+    ExecutorTest()
+        : h_(testing::CompilerHarness::tiny()),
+          compiler_(h_.graph, h_.cfg)
+    {
+    }
+
+    compiler::ExecutionPlan
+    plan(compiler::Mode mode)
+    {
+        compiler::CompileOptions opts;
+        opts.mode = mode;
+        opts.max_orders = 4;
+        return compiler_.compile(opts).plan;
+    }
+
+    testing::CompilerHarness h_;
+    compiler::Compiler compiler_;
+};
+
+TEST_F(ExecutorTest, LoweringCoversEveryOp)
+{
+    auto p = plan(compiler::Mode::kElkDyn);
+    auto prog = lower_to_sim(h_.graph, p, compiler_.context());
+    ASSERT_EQ(static_cast<int>(prog.ops.size()), h_.graph.size());
+    for (int i = 0; i < h_.graph.size(); ++i) {
+        EXPECT_EQ(prog.ops[i].op_id, i);
+        EXPECT_DOUBLE_EQ(prog.ops[i].flops, h_.graph.op(i).flops);
+        EXPECT_GT(prog.ops[i].exec_local_time, 0.0);
+    }
+}
+
+TEST_F(ExecutorTest, DramBytesMatchGraph)
+{
+    auto p = plan(compiler::Mode::kElkDyn);
+    auto prog = lower_to_sim(h_.graph, p, compiler_.context());
+    // Preload-time DRAM plus execution-time streamed DRAM covers the
+    // model's unique HBM bytes exactly.
+    double total_dram = 0.0;
+    for (const auto& op : prog.ops) {
+        total_dram += op.dram_bytes + op.exec_stream_dram;
+    }
+    EXPECT_NEAR(total_dram,
+                static_cast<double>(h_.graph.total_hbm_bytes()),
+                1.0);
+}
+
+TEST_F(ExecutorTest, DeliveryNeverBelowDram)
+{
+    for (auto mode : {compiler::Mode::kBasic, compiler::Mode::kStatic,
+                      compiler::Mode::kElkFull, compiler::Mode::kIdeal}) {
+        auto prog =
+            lower_to_sim(h_.graph, plan(mode), compiler_.context());
+        for (const auto& op : prog.ops) {
+            if (op.dram_bytes > 0) {
+                EXPECT_GE(op.delivery_bytes, op.dram_bytes)
+                    << compiler::mode_name(mode) << " op " << op.op_id;
+            } else {
+                EXPECT_DOUBLE_EQ(op.delivery_bytes, 0.0);
+            }
+        }
+    }
+}
+
+TEST_F(ExecutorTest, DistributionConsistentWithPreloadPlan)
+{
+    auto p = plan(compiler::Mode::kElkDyn);
+    auto prog = lower_to_sim(h_.graph, p, compiler_.context());
+    for (int i = 0; i < h_.graph.size(); ++i) {
+        double per_core = p.ops[i].preload.distribute_bytes;
+        double cores =
+            static_cast<double>(p.ops[i].exec.cores_used());
+        EXPECT_NEAR(prog.ops[i].distribute_bytes, per_core * cores,
+                    1e-6 + per_core * cores * 1e-12);
+    }
+}
+
+TEST_F(ExecutorTest, IdealPlanProperties)
+{
+    auto ideal = compiler::build_ideal_plan(compiler_.library());
+    EXPECT_EQ(ideal.mode, "Ideal");
+    for (const auto& sched : ideal.ops) {
+        // Fastest plan, zero-cost distribution, no replication.
+        EXPECT_DOUBLE_EQ(sched.preload.distribute_time, 0.0);
+        EXPECT_DOUBLE_EQ(sched.preload.noc_delivery_bytes, 0.0);
+        EXPECT_DOUBLE_EQ(
+            sched.exec.exec_time,
+            compiler_.library().exec_plans(sched.op_id)[0].exec_time);
+    }
+    // All preloads stream from program start.
+    for (int slot : ideal.issue_slot) {
+        EXPECT_EQ(slot, 0);
+    }
+}
+
+TEST_F(ExecutorTest, IdealIsFastestUnderSimulation)
+{
+    sim::Machine machine(h_.cfg);
+    sim::Machine ideal_machine(h_.cfg, /*ideal=*/true);
+    auto ideal = run_plan(ideal_machine, h_.graph,
+                          compiler::build_ideal_plan(compiler_.library()),
+                          compiler_.context());
+    for (auto mode : {compiler::Mode::kBasic, compiler::Mode::kStatic,
+                      compiler::Mode::kElkDyn, compiler::Mode::kElkFull}) {
+        auto run =
+            run_plan(machine, h_.graph, plan(mode), compiler_.context());
+        // The Ideal roofline is an analytic reference (paper §6.1),
+        // not a strict dominator of every simulated schedule; allow a
+        // small margin.
+        EXPECT_LE(ideal.total_time, run.total_time * 1.03)
+            << compiler::mode_name(mode);
+    }
+}
+
+TEST_F(ExecutorTest, EstimateTracksSimulation)
+{
+    // The scheduler's own estimate should be within ~35% of the
+    // simulator for the Elk designs (it ignores fine-grained
+    // contention but models the same structure).
+    sim::Machine machine(h_.cfg);
+    auto p = plan(compiler::Mode::kElkDyn);
+    auto run = run_plan(machine, h_.graph, p, compiler_.context());
+    EXPECT_GT(p.est_total_time, run.total_time * 0.5);
+    EXPECT_LT(p.est_total_time, run.total_time * 1.5);
+}
+
+}  // namespace
+}  // namespace elk::runtime

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the graph IR and the model builders.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/model_builder.h"
+#include "graph/model_config.h"
+
+namespace elk::graph {
+namespace {
+
+TEST(OpTest, MatmulFlops)
+{
+    Operator op;
+    op.kind = OpKind::kMatMul;
+    op.m = 4;
+    op.n = 8;
+    op.k = 16;
+    finalize_flops(op);
+    EXPECT_DOUBLE_EQ(op.flops, 2.0 * 4 * 8 * 16);
+}
+
+TEST(OpTest, BatchMatmulFlops)
+{
+    Operator op;
+    op.kind = OpKind::kBatchMatMul;
+    op.batch = 3;
+    op.m = 2;
+    op.n = 5;
+    op.k = 7;
+    finalize_flops(op);
+    EXPECT_DOUBLE_EQ(op.flops, 2.0 * 3 * 2 * 5 * 7);
+}
+
+TEST(OpTest, HbmHeavyThreshold)
+{
+    Operator op;
+    op.param_bytes = 1000;
+    EXPECT_TRUE(op.hbm_heavy(500));
+    EXPECT_FALSE(op.hbm_heavy(1000));
+}
+
+TEST(GraphTest, AddAssignsIdsAndLayers)
+{
+    Graph g("test");
+    Operator op;
+    op.layer = 0;
+    int id0 = g.add(op);
+    op.layer = 1;
+    int id1 = g.add(op);
+    EXPECT_EQ(id0, 0);
+    EXPECT_EQ(id1, 1);
+    EXPECT_EQ(g.num_layers(), 2);
+    EXPECT_EQ(g.ops_in_layer(1), std::vector<int>{1});
+}
+
+TEST(ModelConfigTest, ParamCountsMatchModelNames)
+{
+    // Parameter counts should land near the nominal model sizes.
+    EXPECT_NEAR(llama2_13b().param_count(), 13e9, 1.5e9);
+    EXPECT_NEAR(gemma2_27b().param_count(), 27e9, 4e9);
+    EXPECT_NEAR(opt_30b().param_count(), 30e9, 3e9);
+    EXPECT_NEAR(llama2_70b().param_count(), 70e9, 5e9);
+    EXPECT_LT(dit_xl().param_count(), 1.5e9);
+}
+
+TEST(ModelConfigTest, LookupByName)
+{
+    EXPECT_EQ(model_by_name("Llama2-13B").hidden, 5120);
+    EXPECT_EQ(model_by_name("Llama2-70B").kv_heads, 8);
+}
+
+TEST(DecodeGraphTest, StructureAndSizes)
+{
+    ModelConfig cfg = llama2_13b();
+    Graph g = build_decode_graph(cfg, /*batch=*/32, /*seq=*/2048);
+    EXPECT_EQ(g.num_layers(), cfg.layers);
+    EXPECT_GT(g.size(), cfg.layers * 10);
+    // Per-token HBM traffic ~ weights + KV cache.
+    double weights = cfg.param_bytes();
+    double kv = 2.0 * cfg.layers * 32.0 * cfg.kv_heads * 2048.0 *
+                cfg.head_dim * cfg.dtype_bytes;
+    EXPECT_NEAR(static_cast<double>(g.total_hbm_bytes()), weights + kv,
+                0.1 * (weights + kv));
+}
+
+TEST(DecodeGraphTest, HbmHeavyOpsPerLayerMatchesPaper)
+{
+    // Paper Table 2: H = 6 for Llama2-13B (QKV, K-cache, V-cache,
+    // out-proj, FFN matrices dominate).
+    Graph g = build_decode_graph(llama2_13b(), 32, 2048);
+    EXPECT_GE(g.hbm_heavy_per_layer(), 4);
+    EXPECT_LE(g.hbm_heavy_per_layer(), 7);
+}
+
+TEST(DecodeGraphTest, GqaReducesKvBytes)
+{
+    ModelConfig mha = llama2_13b();
+    ModelConfig gqa = mha;
+    gqa.kv_heads = mha.heads / 4;
+    Graph g_mha = build_decode_graph(mha, 32, 2048);
+    Graph g_gqa = build_decode_graph(gqa, 32, 2048);
+
+    auto kv_stream = [](const Graph& g) {
+        uint64_t total = 0;
+        for (const auto& op : g.ops()) {
+            total += op.stream_bytes;
+        }
+        return total;
+    };
+    EXPECT_LT(kv_stream(g_gqa), kv_stream(g_mha));
+}
+
+TEST(DecodeGraphTest, AttentionSharingAnnotation)
+{
+    Graph g = build_decode_graph(llama2_70b(), 16, 2048);
+    bool found = false;
+    for (const auto& op : g.ops()) {
+        if (op.name == "attn_score") {
+            // 64 query heads / 8 kv heads, q_len 1.
+            EXPECT_EQ(op.w_share_rows, 8);
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ForwardGraphTest, ComputeIntensiveShape)
+{
+    ModelConfig cfg = llama2_13b();
+    Graph decode = build_decode_graph(cfg, 32, 2048);
+    Graph forward = build_forward_graph(cfg, 4, 2048);
+    // Forward pass processes many tokens: far more FLOPs per HBM byte.
+    double decode_intensity =
+        decode.total_flops() / static_cast<double>(decode.total_hbm_bytes());
+    double forward_intensity = forward.total_flops() /
+                               static_cast<double>(forward.total_hbm_bytes());
+    EXPECT_GT(forward_intensity, 50 * decode_intensity);
+    // No KV streaming in the forward graph.
+    for (const auto& op : forward.ops()) {
+        EXPECT_EQ(op.stream_bytes, 0u) << op.name;
+    }
+}
+
+TEST(DitGraphTest, BuildsAndIsComputeHeavy)
+{
+    Graph g = build_dit_graph(dit_xl(), /*batch=*/8, /*tokens=*/256);
+    EXPECT_EQ(g.num_layers(), dit_xl().layers);
+    double intensity =
+        g.total_flops() / static_cast<double>(g.total_hbm_bytes());
+    // DiT-XL is compute-intensive (paper §6.4 finding 3).
+    EXPECT_GT(intensity, 100.0);
+}
+
+TEST(GraphTest, HeavyOpsAreParameterOrStreamOps)
+{
+    Graph g = build_decode_graph(opt_30b(), 32, 2048);
+    uint64_t avg = g.avg_hbm_bytes();
+    for (int id : g.hbm_heavy_ops()) {
+        EXPECT_GT(g.op(id).hbm_bytes(), avg);
+    }
+}
+
+}  // namespace
+}  // namespace elk::graph

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the hardware model: chip config, topology/routing,
+ * and the traffic bottleneck analysis.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/chip_config.h"
+#include "hw/topology.h"
+#include "hw/traffic.h"
+
+namespace elk::hw {
+namespace {
+
+TEST(ChipConfigTest, Pod4Defaults)
+{
+    ChipConfig cfg = ChipConfig::ipu_pod4();
+    EXPECT_EQ(cfg.total_cores(), 4 * 1472);
+    EXPECT_DOUBLE_EQ(cfg.hbm_total_bw, 16e12);
+    // ~3.5 GB usable on-chip memory (paper §4.2 example).
+    EXPECT_NEAR(static_cast<double>(cfg.total_usable_sram()),
+                3.5 * 1024.0 * 1024 * 1024, 0.3e9);
+    // ~8 TB/s aggregate inter-core bandwidth per chip (paper §2.1).
+    EXPECT_NEAR(cfg.noc_aggregate_bw(), 8.0e12, 0.2e12);
+}
+
+TEST(ChipConfigTest, UsableSramExcludesTransferBuffer)
+{
+    ChipConfig cfg = ChipConfig::ipu_pod4();
+    EXPECT_EQ(cfg.usable_sram_per_core(),
+              cfg.sram_per_core - cfg.transfer_buffer_per_core);
+}
+
+TEST(ChipConfigTest, TinyIsValid)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    EXPECT_EQ(cfg.total_cores(), 16);
+    cfg.validate();  // must not terminate
+}
+
+TEST(TopologyTest, AllToAllRoutesAreTwoLinks)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    auto path = topo.route(0, 7);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], topo.injection_link(0));
+    EXPECT_EQ(path[1], topo.ejection_link(7));
+    EXPECT_EQ(topo.hops(0, 7), 1);
+}
+
+TEST(TopologyTest, HbmNodesExist)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    EXPECT_EQ(topo.num_hbm_nodes(), cfg.hbm_channels_per_chip);
+    EXPECT_TRUE(topo.is_hbm_node(topo.hbm_node(0)));
+    EXPECT_FALSE(topo.is_hbm_node(0));
+}
+
+TEST(TopologyTest, HbmInjectionBandwidthIsChannelBandwidth)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    int link = topo.injection_link(topo.hbm_node(0));
+    EXPECT_DOUBLE_EQ(topo.link(link).bw,
+                     cfg.hbm_bw_per_chip() / cfg.hbm_channels_per_chip);
+}
+
+class MeshTopologyTest : public ::testing::Test {
+  protected:
+    MeshTopologyTest()
+    {
+        cfg_ = ChipConfig::tiny(16);
+        cfg_.topology = TopologyKind::kMesh2D;
+        cfg_.mesh_width = 4;
+        cfg_.mesh_height = 4;
+        topo_ = std::make_unique<Topology>(cfg_);
+    }
+    ChipConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+};
+
+TEST_F(MeshTopologyTest, CoordinatesRowMajor)
+{
+    EXPECT_EQ(topo_->mesh_coord(0), std::make_pair(0, 0));
+    EXPECT_EQ(topo_->mesh_coord(5), std::make_pair(1, 1));
+    EXPECT_EQ(topo_->node_at(3, 3), 15);
+    EXPECT_EQ(topo_->node_at(4, 0), -1);
+}
+
+TEST_F(MeshTopologyTest, ManhattanHops)
+{
+    EXPECT_EQ(topo_->hops(0, 15), 6);  // (0,0) -> (3,3)
+    EXPECT_EQ(topo_->hops(0, 1), 1);
+    EXPECT_EQ(topo_->hops(5, 5), 1);  // min 1 hop
+}
+
+TEST_F(MeshTopologyTest, DorRouteXThenY)
+{
+    // Route (0,0) -> (2,1): inj, +x, +x, +y, ej = 5 links.
+    auto path = topo_->route(0, 6);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.front(), topo_->injection_link(0));
+    EXPECT_EQ(path.back(), topo_->ejection_link(6));
+    // Middle links are mesh links: src of first mesh link is node 0.
+    EXPECT_EQ(topo_->link(path[1]).src, 0);
+    EXPECT_EQ(topo_->link(path[1]).dst, 1);
+    EXPECT_EQ(topo_->link(path[2]).src, 1);
+    EXPECT_EQ(topo_->link(path[2]).dst, 2);
+    EXPECT_EQ(topo_->link(path[3]).src, 2);
+    EXPECT_EQ(topo_->link(path[3]).dst, 6);
+}
+
+TEST_F(MeshTopologyTest, HbmControllersAttachToEdges)
+{
+    for (int i = 0; i < topo_->num_hbm_nodes(); ++i) {
+        int attach = topo_->hbm_attach_node(i);
+        auto [x, y] = topo_->mesh_coord(attach);
+        EXPECT_TRUE(x == 0 || x == cfg_.mesh_width - 1)
+            << "controller " << i << " at (" << x << "," << y << ")";
+    }
+}
+
+TEST(TrafficModelTest, AllToAllPeerCapacityIsEndpointBound)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    TrafficModel tm(topo, cfg);
+    // Uniform exchange is endpoint limited: aggregate = cores * link bw.
+    EXPECT_NEAR(tm.peer_exchange_capacity(),
+                cfg.inter_core_link_bw * cfg.cores_per_chip,
+                0.05 * tm.peer_exchange_capacity());
+    EXPECT_DOUBLE_EQ(tm.avg_hops(), 1.0);
+}
+
+TEST(TrafficModelTest, AllToAllHbmCapacityIsControllerBound)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    TrafficModel tm(topo, cfg);
+    // Each controller serves cores/num_hbm cores at its channel bw;
+    // the per-channel injection link is the bottleneck.
+    double expected = cfg.hbm_bw_per_chip();
+    EXPECT_LE(tm.hbm_delivery_capacity(), expected * 1.05);
+    EXPECT_GT(tm.hbm_delivery_capacity(), 0.0);
+}
+
+TEST(TrafficModelTest, MeshPeerCapacityBelowAllToAll)
+{
+    ChipConfig all = ChipConfig::tiny(64);
+    all.mesh_width = 8;
+    all.mesh_height = 8;
+    Topology topo_all(all);
+    TrafficModel tm_all(topo_all, all);
+
+    ChipConfig mesh = all;
+    mesh.topology = TopologyKind::kMesh2D;
+    mesh.mesh_link_bw = all.inter_core_link_bw;  // same per-link speed
+    Topology topo_mesh(mesh);
+    TrafficModel tm_mesh(topo_mesh, mesh);
+
+    // With equal per-link bandwidth, multi-hop mesh routing must reduce
+    // the deliverable aggregate below the all-to-all endpoint bound.
+    EXPECT_LT(tm_mesh.peer_exchange_capacity(),
+              tm_all.peer_exchange_capacity());
+    EXPECT_GT(tm_mesh.avg_hops(), 1.0);
+}
+
+TEST(TrafficModelTest, DeliveryTimeScalesWithBytes)
+{
+    ChipConfig cfg = ChipConfig::tiny(16);
+    Topology topo(cfg);
+    TrafficModel tm(topo, cfg);
+    double t1 = tm.hbm_delivery_time(1e6);
+    double t2 = tm.hbm_delivery_time(2e6);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR(t2 - tm.link_latency(), 2 * (t1 - tm.link_latency()),
+                1e-12);
+}
+
+}  // namespace
+}  // namespace elk::hw

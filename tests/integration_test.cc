@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Integration tests: compile each design and run it on the simulator,
+ * checking the end-to-end performance ordering the paper reports
+ * (Basic < Static < Elk-Dyn <= Elk-Full <= Ideal) and the simulator's
+ * invariants under real compiled programs.
+ */
+#include <gtest/gtest.h>
+
+#include "elk/compiler.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "test_helpers.h"
+
+namespace elk {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+  protected:
+    IntegrationTest()
+        : graph_(graph::build_decode_graph(testing::tiny_llm(), 8, 512))
+    {
+        cfg_ = testing::CompilerHarness::tiny().cfg;
+        compiler_ = std::make_unique<compiler::Compiler>(graph_, cfg_);
+        machine_ = std::make_unique<sim::Machine>(cfg_);
+        ideal_machine_ =
+            std::make_unique<sim::Machine>(cfg_, /*ideal=*/true);
+    }
+
+    sim::SimResult
+    run(compiler::Mode mode)
+    {
+        compiler::CompileOptions opts;
+        opts.mode = mode;
+        opts.max_orders = 12;
+        auto result = compiler_->compile(opts);
+        const sim::Machine& m = mode == compiler::Mode::kIdeal
+                                    ? *ideal_machine_
+                                    : *machine_;
+        return runtime::run_plan(m, graph_, result.plan,
+                                 compiler_->context());
+    }
+
+    graph::Graph graph_;
+    hw::ChipConfig cfg_;
+    std::unique_ptr<compiler::Compiler> compiler_;
+    std::unique_ptr<sim::Machine> machine_;
+    std::unique_ptr<sim::Machine> ideal_machine_;
+};
+
+TEST_F(IntegrationTest, DesignOrdering)
+{
+    auto basic = run(compiler::Mode::kBasic);
+    auto stat = run(compiler::Mode::kStatic);
+    auto dyn = run(compiler::Mode::kElkDyn);
+    auto full = run(compiler::Mode::kElkFull);
+    auto ideal = run(compiler::Mode::kIdeal);
+
+    // The paper's headline ordering (Fig. 17). Allow small tolerance
+    // between adjacent designs; the ends must be clearly ordered.
+    EXPECT_LE(stat.total_time, basic.total_time * 1.05);
+    EXPECT_LE(dyn.total_time, stat.total_time * 1.05);
+    EXPECT_LE(full.total_time, dyn.total_time * 1.02);
+    // Ideal is an analytic roofline reference, not a strict
+    // dominator of every simulated schedule.
+    EXPECT_LE(ideal.total_time, full.total_time * 1.03);
+    EXPECT_LT(full.total_time, basic.total_time);
+}
+
+TEST_F(IntegrationTest, ElkPlansRespectMemory)
+{
+    for (auto mode : {compiler::Mode::kBasic, compiler::Mode::kStatic,
+                      compiler::Mode::kElkDyn, compiler::Mode::kElkFull}) {
+        auto r = run(mode);
+        EXPECT_FALSE(r.memory_exceeded)
+            << compiler::mode_name(mode) << " peak "
+            << r.peak_sram_per_core;
+    }
+}
+
+TEST_F(IntegrationTest, ElkImprovesHbmUtilization)
+{
+    auto basic = run(compiler::Mode::kBasic);
+    auto full = run(compiler::Mode::kElkFull);
+    EXPECT_GT(full.hbm_util, basic.hbm_util * 0.99);
+}
+
+TEST_F(IntegrationTest, BreakdownConsistent)
+{
+    for (auto mode : {compiler::Mode::kBasic, compiler::Mode::kElkFull}) {
+        auto r = run(mode);
+        EXPECT_NEAR(r.preload_only + r.execute_only + r.overlapped,
+                    r.total_time, 1e-9 + r.total_time * 1e-6);
+        EXPECT_GE(r.preload_only, 0.0);
+        EXPECT_GE(r.execute_only, 0.0);
+        EXPECT_GE(r.overlapped, 0.0);
+    }
+}
+
+TEST_F(IntegrationTest, ElkOverlapsMoreThanBasic)
+{
+    auto basic = run(compiler::Mode::kBasic);
+    auto full = run(compiler::Mode::kElkFull);
+    double basic_overlap_frac = basic.overlapped / basic.total_time;
+    double full_overlap_frac = full.overlapped / full.total_time;
+    EXPECT_GE(full_overlap_frac, basic_overlap_frac * 0.95);
+}
+
+TEST_F(IntegrationTest, TimingsWellOrderedPerOp)
+{
+    compiler::CompileOptions opts;
+    opts.mode = compiler::Mode::kElkFull;
+    opts.max_orders = 12;
+    auto result = compiler_->compile(opts);
+    auto r = runtime::run_plan(*machine_, graph_, result.plan,
+                               compiler_->context());
+    for (int i = 0; i < graph_.size(); ++i) {
+        const auto& tm = r.timing[i];
+        EXPECT_LE(tm.pre_start, tm.pre_end + 1e-12);
+        EXPECT_LE(tm.pre_end, tm.exec_start + 1e-9) << "op " << i;
+        EXPECT_LE(tm.exec_start, tm.exec_end + 1e-12);
+        if (i > 0) {
+            EXPECT_GE(tm.exec_start,
+                      r.timing[i - 1].exec_end - 1e-9);
+        }
+    }
+}
+
+TEST_F(IntegrationTest, MeshMachineRuns)
+{
+    hw::ChipConfig mesh_cfg = cfg_;
+    mesh_cfg.topology = hw::TopologyKind::kMesh2D;
+    mesh_cfg.mesh_link_bw = cfg_.inter_core_link_bw * 4;
+    compiler::Compiler mesh_compiler(graph_, mesh_cfg);
+    sim::Machine mesh_machine(mesh_cfg);
+    compiler::CompileOptions opts;
+    opts.mode = compiler::Mode::kElkDyn;
+    auto result = mesh_compiler.compile(opts);
+    auto r = runtime::run_plan(mesh_machine, graph_, result.plan,
+                               mesh_compiler.context());
+    EXPECT_GT(r.total_time, 0.0);
+    EXPECT_FALSE(r.memory_exceeded);
+}
+
+TEST_F(IntegrationTest, MetricsHelpers)
+{
+    auto basic = run(compiler::Mode::kBasic);
+    auto ideal = run(compiler::Mode::kIdeal);
+    EXPECT_GE(runtime::speedup(ideal, basic), 1.0);
+    EXPECT_LE(runtime::fraction_of_ideal(basic, ideal), 1.0);
+    EXPECT_FALSE(runtime::ms(basic.total_time).empty());
+    EXPECT_EQ(runtime::pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace elk

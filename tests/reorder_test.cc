@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for §4.4 preload order permutation.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "elk/preload_reorder.h"
+#include "test_helpers.h"
+
+namespace elk::compiler {
+namespace {
+
+class ReorderTest : public ::testing::Test {
+  protected:
+    ReorderTest() : h_(testing::CompilerHarness::tiny()) {}
+    testing::CompilerHarness h_;
+};
+
+TEST_F(ReorderTest, IdentityAlwaysFirstCandidate)
+{
+    ReorderStats stats;
+    auto orders = generate_candidate_orders(*h_.library, 32, &stats);
+    ASSERT_GE(orders.size(), 1u);
+    for (int i = 0; i < h_.graph.size(); ++i) {
+        EXPECT_EQ(orders[0][i], i);
+    }
+}
+
+TEST_F(ReorderTest, AllCandidatesArePermutations)
+{
+    auto orders = generate_candidate_orders(*h_.library, 64, nullptr);
+    for (const auto& order : orders) {
+        ASSERT_EQ(static_cast<int>(order.size()), h_.graph.size());
+        std::set<int> uniq(order.begin(), order.end());
+        EXPECT_EQ(static_cast<int>(uniq.size()), h_.graph.size());
+    }
+}
+
+TEST_F(ReorderTest, OnlyHeavyOpsMove)
+{
+    ReorderStats stats;
+    auto orders = generate_candidate_orders(*h_.library, 64, &stats);
+    uint64_t avg = h_.graph.avg_hbm_bytes();
+    for (const auto& order : orders) {
+        for (size_t r = 0; r < order.size(); ++r) {
+            if (order[r] != static_cast<int>(r)) {
+                // A moved position must hold a heavy op, and the slot
+                // it sits in must originally belong to a heavy op.
+                EXPECT_TRUE(h_.graph.op(order[r]).hbm_heavy(avg));
+                EXPECT_TRUE(
+                    h_.graph.op(static_cast<int>(r)).hbm_heavy(avg));
+            }
+        }
+    }
+}
+
+TEST_F(ReorderTest, SameLayerPermutationAppliedToAllLayers)
+{
+    ReorderStats stats;
+    auto orders = generate_candidate_orders(*h_.library, 64, &stats);
+    if (orders.size() < 2) {
+        GTEST_SKIP() << "chip too small to allow any reorder";
+    }
+    const auto& order = orders[1];
+    uint64_t avg = h_.graph.avg_hbm_bytes();
+    // Collect per-layer permutation signatures of heavy slots.
+    std::vector<std::vector<int>> sigs;
+    for (int layer = 0; layer < h_.graph.num_layers(); ++layer) {
+        std::vector<int> slots;
+        for (int id : h_.graph.ops_in_layer(layer)) {
+            if (h_.graph.op(id).hbm_heavy(avg)) {
+                slots.push_back(id);
+            }
+        }
+        std::vector<int> sig;
+        for (size_t i = 0; i < slots.size(); ++i) {
+            for (size_t j = 0; j < slots.size(); ++j) {
+                if (order[slots[i]] == slots[j]) {
+                    sig.push_back(static_cast<int>(j));
+                }
+            }
+        }
+        if (sig.size() == slots.size() && !sig.empty()) {
+            sigs.push_back(sig);
+        }
+    }
+    ASSERT_GE(sigs.size(), 2u);
+    for (size_t l = 1; l < sigs.size(); ++l) {
+        if (sigs[l].size() == sigs[0].size()) {
+            EXPECT_EQ(sigs[l], sigs[0]) << "layer " << l;
+        }
+    }
+}
+
+TEST_F(ReorderTest, StatsPopulated)
+{
+    ReorderStats stats;
+    generate_candidate_orders(*h_.library, 64, &stats);
+    EXPECT_GT(stats.heavy_per_layer, 0);
+    EXPECT_GE(stats.candidates, 1);
+}
+
+TEST_F(ReorderTest, HeavyFitCountPositive)
+{
+    int c = heavy_ops_fit_on_chip(*h_.library);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, h_.graph.hbm_heavy_per_layer() + 1);
+}
+
+TEST_F(ReorderTest, MaxOrdersRespected)
+{
+    auto orders = generate_candidate_orders(*h_.library, 3, nullptr);
+    EXPECT_LE(orders.size(), 3u);
+}
+
+}  // namespace
+}  // namespace elk::compiler

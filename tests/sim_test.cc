@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the simulator: fluid network sharing, machine
+ * resource construction, and engine scheduling semantics (§4.5 rules).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+
+namespace elk::sim {
+namespace {
+
+TEST(FluidNetworkTest, SingleFlowGetsFullCapacity)
+{
+    FluidNetwork net({100.0});
+    FlowId f = net.add_flow(50.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    EXPECT_DOUBLE_EQ(net.flow_rate(f), 100.0);
+    EXPECT_DOUBLE_EQ(net.time_to_next_completion(), 0.5);
+}
+
+TEST(FluidNetworkTest, TwoFlowsShareEqually)
+{
+    FluidNetwork net({100.0});
+    FlowId a = net.add_flow(100.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    FlowId b = net.add_flow(100.0, {{0, 1.0}}, FlowTag::kHbmPreload);
+    EXPECT_DOUBLE_EQ(net.flow_rate(a), 50.0);
+    EXPECT_DOUBLE_EQ(net.flow_rate(b), 50.0);
+}
+
+TEST(FluidNetworkTest, CompletionFreesCapacity)
+{
+    FluidNetwork net({100.0});
+    FlowId a = net.add_flow(10.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    FlowId b = net.add_flow(100.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    net.advance(10.0 / 50.0);  // flow a completes
+    EXPECT_FALSE(net.flow_active(a));
+    EXPECT_TRUE(net.flow_active(b));
+    EXPECT_DOUBLE_EQ(net.flow_rate(b), 100.0);
+}
+
+TEST(FluidNetworkTest, MultiResourceBottleneck)
+{
+    // Flow limited by the tighter of two resources.
+    FluidNetwork net({100.0, 10.0});
+    FlowId f =
+        net.add_flow(10.0, {{0, 1.0}, {1, 1.0}}, FlowTag::kHbmPreload);
+    EXPECT_DOUBLE_EQ(net.flow_rate(f), 10.0);
+}
+
+TEST(FluidNetworkTest, WeightedConsumption)
+{
+    // Weight 2 on a capacity-100 resource limits the rate to 50.
+    FluidNetwork net({100.0});
+    FlowId f = net.add_flow(10.0, {{0, 2.0}}, FlowTag::kHbmPreload);
+    EXPECT_DOUBLE_EQ(net.flow_rate(f), 50.0);
+}
+
+TEST(FluidNetworkTest, MaxMinWithHeterogeneousDemands)
+{
+    // Flow a uses both resources, flow b only resource 0. Resource 1
+    // caps a at 20, leaving 80 for b on resource 0.
+    FluidNetwork net({100.0, 20.0});
+    FlowId a =
+        net.add_flow(100.0, {{0, 1.0}, {1, 1.0}}, FlowTag::kHbmPreload);
+    FlowId b = net.add_flow(100.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    EXPECT_DOUBLE_EQ(net.flow_rate(a), 20.0);
+    EXPECT_DOUBLE_EQ(net.flow_rate(b), 80.0);
+}
+
+TEST(FluidNetworkTest, UsageAttribution)
+{
+    FluidNetwork net({100.0});
+    net.add_flow(100.0, {{0, 1.0}}, FlowTag::kHbmPreload);
+    net.add_flow(100.0, {{0, 1.0}}, FlowTag::kExecFetch);
+    EXPECT_DOUBLE_EQ(net.resource_usage(0, FlowTag::kHbmPreload), 50.0);
+    EXPECT_DOUBLE_EQ(net.resource_usage(0), 100.0);
+}
+
+TEST(MachineTest, CapacitiesAndWeights)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::tiny(16);
+    Machine m(cfg);
+    auto caps = m.capacities();
+    ASSERT_EQ(caps.size(), 2u);
+    EXPECT_DOUBLE_EQ(caps[Resources::kHbmDram], cfg.hbm_total_bw);
+    EXPECT_DOUBLE_EQ(caps[Resources::kFabric], 1.0);
+
+    // A non-replicated preload consumes fabric at 1/delivery_capacity.
+    auto w = m.preload_weights(100.0, 100.0);
+    EXPECT_DOUBLE_EQ(w[Resources::kHbmDram], 1.0);
+    EXPECT_DOUBLE_EQ(w[Resources::kFabric], 1.0 / m.delivery_capacity());
+    // 4x broadcast replication quadruples fabric consumption.
+    auto w4 = m.preload_weights(100.0, 400.0);
+    EXPECT_DOUBLE_EQ(w4[Resources::kFabric],
+                     4.0 / m.delivery_capacity());
+}
+
+TEST(MachineTest, IdealSplitsFabric)
+{
+    hw::ChipConfig cfg = hw::ChipConfig::tiny(16);
+    Machine m(cfg, /*ideal_split_fabric=*/true);
+    EXPECT_EQ(m.capacities().size(), 3u);
+    EXPECT_NE(m.fabric_resource_for_preload(),
+              m.fabric_resource_for_peer());
+}
+
+class EngineTest : public ::testing::Test {
+  protected:
+    EngineTest() : machine_(hw::ChipConfig::tiny(16)) {}
+
+    SimOp
+    make_op(int id, double dram, double exec_time)
+    {
+        SimOp op;
+        op.op_id = id;
+        op.dram_bytes = dram;
+        op.delivery_bytes = dram;
+        op.exec_local_time = exec_time;
+        op.preload_space = 1024;
+        op.exec_space = 2048;
+        op.flops = 1e6;
+        return op;
+    }
+
+    Machine machine_;
+};
+
+TEST_F(EngineTest, SequentialExecutes)
+{
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, 0, 1e-3));
+    prog.ops.push_back(make_op(1, 0, 2e-3));
+    prog.finalize_default_order();
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    EXPECT_NEAR(r.total_time, 3e-3, 1e-9);
+    EXPECT_NEAR(r.timing[1].exec_start, 1e-3, 1e-9);
+    EXPECT_LE(r.timing[0].exec_end, r.timing[1].exec_start + 1e-12);
+}
+
+TEST_F(EngineTest, PreloadBlocksOwnExecute)
+{
+    const auto& cfg = machine_.config();
+    double bytes = cfg.hbm_total_bw * 1e-3;  // 1 ms of DRAM time
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, bytes, 1e-4));
+    prog.finalize_default_order();
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    // exec waits for preload: total >= latency + dram + exec.
+    EXPECT_GE(r.total_time,
+              cfg.hbm_access_latency_s + 1e-3 + 1e-4 - 1e-9);
+    EXPECT_GE(r.timing[0].exec_start, r.timing[0].pre_end - 1e-12);
+}
+
+TEST_F(EngineTest, PreloadOverlapsEarlierExecute)
+{
+    const auto& cfg = machine_.config();
+    double bytes = cfg.hbm_total_bw * 1e-3;
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, 0, 5e-3));      // long execute
+    prog.ops.push_back(make_op(1, bytes, 1e-4));  // preload during it
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 0};  // both issued before execute(0)
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    // Preload of op 1 overlaps execute(0): total ~ 5ms + 0.1ms.
+    EXPECT_LT(r.total_time, 5.5e-3);
+    EXPECT_GT(r.overlapped, 0.5e-3);
+}
+
+TEST_F(EngineTest, IssueSlotBlocksPreload)
+{
+    const auto& cfg = machine_.config();
+    double bytes = cfg.hbm_total_bw * 1e-3;
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, 0, 5e-3));
+    prog.ops.push_back(make_op(1, bytes, 1e-4));
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 1};  // preload(1) issued after execute(0)
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    EXPECT_GE(r.timing[1].pre_start, r.timing[0].exec_end - 1e-12);
+    EXPECT_GT(r.total_time, 6e-3);
+}
+
+TEST_F(EngineTest, PreloadsSequential)
+{
+    const auto& cfg = machine_.config();
+    double bytes = cfg.hbm_total_bw * 1e-3;
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, bytes, 1e-4));
+    prog.ops.push_back(make_op(1, bytes, 1e-4));
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 0};
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    EXPECT_GE(r.timing[1].pre_start, r.timing[0].pre_end - 1e-12);
+}
+
+TEST_F(EngineTest, FabricContentionStretchesExecution)
+{
+    const auto& cfg = machine_.config();
+    // Execute with a big fetch flow while a preload streams.
+    double dram = cfg.hbm_total_bw * 2e-3;
+    SimProgram prog;
+    SimOp op0 = make_op(0, 0, 1e-4);
+    op0.fetch_bytes = machine_.peer_capacity() * 2e-3;
+    prog.ops.push_back(op0);
+    prog.ops.push_back(make_op(1, dram, 1e-4));
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 0};
+    Engine engine(machine_);
+    SimResult contended = engine.run(prog);
+    EXPECT_GT(contended.interconnect_stall, 0.0);
+
+    // The same program on an ideal split-fabric machine: no stall on
+    // the execute side.
+    Machine ideal(machine_.config(), /*ideal_split_fabric=*/true);
+    Engine ideal_engine(ideal);
+    SimResult split = ideal_engine.run(prog);
+    EXPECT_LT(split.total_time, contended.total_time);
+}
+
+TEST_F(EngineTest, MemoryAccounting)
+{
+    SimProgram prog;
+    SimOp op = make_op(0, 0, 1e-3);
+    op.preload_space = 10 * 1024;
+    op.exec_space = 40 * 1024;
+    prog.ops.push_back(op);
+    prog.finalize_default_order();
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    EXPECT_EQ(r.peak_sram_per_core, 40u * 1024);
+    EXPECT_FALSE(r.memory_exceeded);
+}
+
+TEST_F(EngineTest, BreakdownSumsToTotal)
+{
+    const auto& cfg = machine_.config();
+    SimProgram prog;
+    prog.ops.push_back(make_op(0, cfg.hbm_total_bw * 1e-3, 2e-3));
+    prog.ops.push_back(make_op(1, cfg.hbm_total_bw * 0.5e-3, 1e-3));
+    prog.finalize_default_order();
+    Engine engine(machine_);
+    SimResult r = engine.run(prog);
+    EXPECT_NEAR(r.preload_only + r.execute_only + r.overlapped,
+                r.total_time, 1e-9);
+}
+
+TEST(SimProgramTest, ValidateCatchesBadSlots)
+{
+    SimProgram prog;
+    prog.ops.resize(2);
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 2};  // slot after own execute
+    EXPECT_DEATH(prog.validate(), "preload issued after own execute");
+}
+
+}  // namespace
+}  // namespace elk::sim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for chunked streamed-operand support: operators whose KV
+ * stream exceeds on-chip capacity are processed in HBM-fed chunks
+ * (flash-attention style), splitting their DRAM traffic between the
+ * preload phase and the execution phase.
+ */
+#include <gtest/gtest.h>
+
+#include "elk/compiler.h"
+#include "plan/plan_enumerator.h"
+#include "runtime/executor.h"
+#include "test_helpers.h"
+
+namespace elk {
+namespace {
+
+/// A pure-stream attention op whose KV exceeds total on-chip SRAM.
+graph::Operator
+huge_kv_op(const hw::ChipConfig& cfg)
+{
+    graph::Operator op;
+    op.kind = graph::OpKind::kBatchMatMul;
+    op.name = "huge_attn_score";
+    op.batch = 64 * 56;
+    op.m = 1;
+    op.k = 128;
+    op.n = 4096;
+    op.w_share_rows = 1;
+    op.stream_bytes =
+        static_cast<uint64_t>(op.batch) * op.k * op.n * 2;
+    op.act_in_bytes = static_cast<uint64_t>(op.batch) * op.k * 2;
+    graph::finalize_flops(op);
+    // Precondition for the test: it really is bigger than the chip.
+    EXPECT_GT(op.stream_bytes, cfg.total_usable_sram());
+    return op;
+}
+
+class StreamTest : public ::testing::Test {
+  protected:
+    StreamTest()
+    {
+        cfg_ = hw::ChipConfig::ipu_pod4();
+        topo_ = std::make_unique<hw::Topology>(cfg_);
+        traffic_ = std::make_unique<hw::TrafficModel>(*topo_, cfg_);
+        ctx_.cfg = &cfg_;
+        ctx_.traffic = traffic_.get();
+        ctx_.exec_cost = &cost_;
+    }
+
+    hw::ChipConfig cfg_;
+    std::unique_ptr<hw::Topology> topo_;
+    std::unique_ptr<hw::TrafficModel> traffic_;
+    cost::AnalyticExecCost cost_;
+    plan::PlanContext ctx_;
+};
+
+TEST_F(StreamTest, OversizedKvStillHasPlans)
+{
+    auto op = huge_kv_op(cfg_);
+    auto front = plan::enumerate_exec_plans(op, ctx_);
+    ASSERT_FALSE(front.empty());
+    // Some plan must stream chunks (repl_w > 1 with no sharing group).
+    bool chunked = false;
+    for (const auto& p : front) {
+        EXPECT_LE(p.exec_space, ctx_.sram_budget());
+        if (p.repl_w > 1 && p.group_w == 1) {
+            chunked = true;
+            EXPECT_GT(p.hbm_stream_bytes, 0.0);
+        }
+    }
+    EXPECT_TRUE(chunked);
+}
+
+TEST_F(StreamTest, StreamTimeBoundsExecution)
+{
+    auto op = huge_kv_op(cfg_);
+    auto front = plan::enumerate_exec_plans(op, ctx_);
+    for (const auto& p : front) {
+        if (p.hbm_stream_bytes > 0) {
+            double stream_floor =
+                p.hbm_stream_bytes *
+                static_cast<double>(p.cores_used()) / cfg_.hbm_total_bw;
+            EXPECT_GE(p.exec_time, stream_floor - 1e-12)
+                << p.to_string();
+        }
+    }
+}
+
+TEST_F(StreamTest, ChunkedPreloadDefersDram)
+{
+    auto op = huge_kv_op(cfg_);
+    auto front = plan::enumerate_exec_plans(op, ctx_);
+    for (const auto& exec : front) {
+        auto preloads = plan::enumerate_preload_plans(op, exec, ctx_);
+        ASSERT_EQ(preloads.size(), 1u) << "streams have no gamma choice";
+        const auto& pre = preloads[0];
+        if (exec.repl_w > 1 && exec.group_w == 1) {
+            EXPECT_NEAR(pre.dram_fraction, 1.0 / exec.repl_w, 1e-12);
+        } else {
+            EXPECT_DOUBLE_EQ(pre.dram_fraction, 1.0);
+        }
+        EXPECT_DOUBLE_EQ(pre.distribute_bytes, 0.0);
+    }
+}
+
+TEST_F(StreamTest, SharedWeightsNeverStream)
+{
+    // Weight chunk-streaming exists only where the partition leaves W
+    // unshared (group_w == 1, e.g. single-row-part plans); plans with
+    // a real sharing group always materialize their residency.
+    graph::Operator op;
+    op.kind = graph::OpKind::kMatMul;
+    op.name = "weights";
+    op.m = 32;
+    op.k = 5120;
+    op.n = 13824;
+    op.param_bytes = static_cast<uint64_t>(op.k) * op.n * 2;
+    op.act_in_bytes = static_cast<uint64_t>(op.m) * op.k * 2;
+    graph::finalize_flops(op);
+    for (const auto& p : plan::enumerate_exec_plans(op, ctx_)) {
+        if (p.group_w > 1) {
+            EXPECT_DOUBLE_EQ(p.hbm_stream_bytes, 0.0) << p.to_string();
+        } else if (p.hbm_stream_bytes > 0) {
+            EXPECT_GT(p.repl_w, 1) << p.to_string();
+        }
+    }
+}
+
+TEST_F(StreamTest, OversizedModelCompilesAndRuns)
+{
+    // OPT-30B at batch 64, seq 4096: single attention operators hold
+    // more KV than the whole chip. The compiler must chunk them and
+    // the simulated run must respect memory.
+    auto graph = graph::build_decode_graph(graph::opt_30b(), 64, 4096);
+    compiler::Compiler comp(graph, cfg_);
+    compiler::CompileOptions opts;
+    opts.mode = compiler::Mode::kElkDyn;
+    auto result = comp.compile(opts);
+    sim::Machine machine(cfg_);
+    auto run =
+        runtime::run_plan(machine, graph, result.plan, comp.context());
+    EXPECT_GT(run.total_time, 0.0);
+    EXPECT_FALSE(run.memory_exceeded);
+    // HBM floor: all unique bytes still cross the DRAM interface.
+    double floor = static_cast<double>(graph.total_hbm_bytes()) /
+                   cfg_.hbm_total_bw;
+    EXPECT_GE(run.total_time, floor * 0.999);
+}
+
+TEST_F(StreamTest, EngineChargesExecStream)
+{
+    // A single op with all DRAM deferred to execution must still take
+    // at least the DRAM time.
+    sim::Machine machine(hw::ChipConfig::tiny(16));
+    const auto& cfg = machine.config();
+    sim::SimProgram prog;
+    sim::SimOp op;
+    op.op_id = 0;
+    op.exec_local_time = 1e-5;
+    op.exec_stream_dram = cfg.hbm_total_bw * 2e-3;  // 2 ms of DRAM
+    op.preload_space = 0;
+    op.exec_space = 1024;
+    op.flops = 1e6;
+    prog.ops.push_back(op);
+    prog.finalize_default_order();
+    sim::Engine engine(machine);
+    auto run = engine.run(prog);
+    EXPECT_GE(run.total_time, 2e-3 - 1e-9);
+}
+
+}  // namespace
+}  // namespace elk

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Property tests over mesh routing: for random mesh shapes and random
+ * endpoint pairs, every DOR route must be connected, X-then-Y ordered,
+ * and exactly as long as the Manhattan distance; HBM delivery routes
+ * must enter at the controller's edge column in the destination row.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/topology.h"
+
+namespace elk::hw {
+namespace {
+
+struct MeshCase {
+    int width;
+    int height;
+    int cores;
+};
+
+class MeshRouteProperty : public ::testing::TestWithParam<MeshCase> {
+  protected:
+    MeshRouteProperty()
+    {
+        cfg_ = ChipConfig::tiny(GetParam().cores);
+        cfg_.topology = TopologyKind::kMesh2D;
+        cfg_.mesh_width = GetParam().width;
+        cfg_.mesh_height = GetParam().height;
+        topo_ = std::make_unique<Topology>(cfg_);
+    }
+
+    ChipConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+};
+
+TEST_P(MeshRouteProperty, RoutesConnectedAndMinimal)
+{
+    std::mt19937_64 rng(42);
+    std::uniform_int_distribution<int> pick(0, topo_->num_cores() - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+        int src = pick(rng);
+        int dst = pick(rng);
+        auto path = topo_->route(src, dst);
+        ASSERT_GE(path.size(), 2u);
+        EXPECT_EQ(path.front(), topo_->injection_link(src));
+        EXPECT_EQ(path.back(), topo_->ejection_link(dst));
+
+        // Mesh segment: connected, X moves before Y moves. Link
+        // endpoints are grid slots (row-major), valid even when the
+        // slot holds no core (ragged grids).
+        auto coord = [&](int slot) {
+            return std::make_pair(slot % cfg_.mesh_width,
+                                  slot / cfg_.mesh_width);
+        };
+        auto [x, y] = topo_->mesh_coord(src);
+        bool seen_y = false;
+        for (size_t i = 1; i + 1 < path.size(); ++i) {
+            const LinkInfo& link = topo_->link(path[i]);
+            ASSERT_GE(link.src, 0);
+            ASSERT_GE(link.dst, 0);
+            auto [lx, ly] = coord(link.src);
+            EXPECT_EQ(lx, x) << "route disconnected at hop " << i;
+            EXPECT_EQ(ly, y) << "route disconnected at hop " << i;
+            auto [nx, ny] = coord(link.dst);
+            if (ny != y) {
+                seen_y = true;
+            } else {
+                EXPECT_FALSE(seen_y) << "X move after Y move (not DOR)";
+            }
+            x = nx;
+            y = ny;
+        }
+        auto [dx, dy] = topo_->mesh_coord(dst);
+        EXPECT_EQ(x, dx);
+        EXPECT_EQ(y, dy);
+
+        // Minimality: mesh hops == Manhattan distance.
+        auto [sx, sy] = topo_->mesh_coord(src);
+        size_t manhattan = static_cast<size_t>(std::abs(sx - dx)) +
+                           static_cast<size_t>(std::abs(sy - dy));
+        EXPECT_EQ(path.size() - 2, manhattan);
+    }
+}
+
+TEST_P(MeshRouteProperty, HbmRoutesEnterAtDestinationRow)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<int> pick(0, topo_->num_cores() - 1);
+    for (int h = 0; h < topo_->num_hbm_nodes(); ++h) {
+        int side = topo_->hbm_side(h);
+        int edge_x = side == 0 ? 0 : cfg_.mesh_width - 1;
+        for (int trial = 0; trial < 50; ++trial) {
+            int dst = pick(rng);
+            auto [dx, dy] = topo_->mesh_coord(dst);
+            auto path = topo_->route(topo_->hbm_node(h), dst);
+            if (path.size() > 2) {
+                // First mesh hop starts at (edge_x, dy): the edge PHY
+                // injects straight into the destination's row.
+                const LinkInfo& first = topo_->link(path[1]);
+                int fx = first.src % cfg_.mesh_width;
+                int fy = first.src / cfg_.mesh_width;
+                EXPECT_EQ(fx, edge_x);
+                EXPECT_EQ(fy, dy);
+            } else {
+                // Direct ejection: destination sits at the edge column.
+                EXPECT_EQ(dx, edge_x);
+            }
+        }
+    }
+}
+
+TEST_P(MeshRouteProperty, NearestHbmIsValid)
+{
+    for (int c = 0; c < topo_->num_cores(); ++c) {
+        int h = topo_->nearest_hbm(c);
+        EXPECT_GE(h, 0);
+        EXPECT_LT(h, topo_->num_hbm_nodes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, MeshRouteProperty,
+    ::testing::Values(MeshCase{4, 4, 16}, MeshCase{8, 8, 64},
+                      MeshCase{8, 8, 60},   // ragged: empty slots
+                      MeshCase{16, 4, 64}, MeshCase{5, 13, 65}));
+
+}  // namespace
+}  // namespace elk::hw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for util: statistics, tables, logging helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace elk::util {
+namespace {
+
+using ::testing::Test;
+
+TEST(UnitsTest, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(UnitsTest, Bandwidths)
+{
+    EXPECT_DOUBLE_EQ(gbps(5.5), 5.5e9);
+    EXPECT_DOUBLE_EQ(tbps(16), 16e12);
+    EXPECT_DOUBLE_EQ(tflops(1), 1e12);
+}
+
+TEST(UnitsTest, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(to_ms(0.5), 500.0);
+    EXPECT_DOUBLE_EQ(to_us(1e-6), 1.0);
+}
+
+TEST(StatsTest, MeanAndStdev)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stdev(xs), 1.118, 1e-3);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stdev({5.0}), 0.0);
+}
+
+TEST(StatsTest, Percentile)
+{
+    std::vector<double> xs{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 30);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 20);
+}
+
+TEST(StatsTest, MapeSkipsZeroMeasurements)
+{
+    std::vector<double> measured{0.0, 100.0};
+    std::vector<double> predicted{5.0, 110.0};
+    EXPECT_NEAR(mape(measured, predicted), 0.10, 1e-12);
+}
+
+TEST(StatsTest, PerfectPredictionRSquared)
+{
+    std::vector<double> m{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(r_squared(m, m), 1.0);
+}
+
+TEST(StatsTest, RSquaredPenalizesBias)
+{
+    std::vector<double> m{1, 2, 3, 4};
+    std::vector<double> p{2, 3, 4, 5};
+    EXPECT_LT(r_squared(m, p), 1.0);
+}
+
+TEST(StatsTest, WeightedMean)
+{
+    WeightedMean wm;
+    wm.add(1.0, 0.0);
+    wm.add(3.0, 1.0);
+    EXPECT_DOUBLE_EQ(wm.value(), 0.75);
+    EXPECT_DOUBLE_EQ(wm.weight(), 4.0);
+}
+
+TEST(TableTest, TextRendering)
+{
+    Table t({"a", "bb"});
+    t.add("x", 1.0);
+    t.add("longer", 2.5);
+    std::string text = t.to_text();
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_NE(text.find("2.500"), std::string::npos);
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvRendering)
+{
+    Table t({"h1", "h2"});
+    t.add(1, 2);
+    EXPECT_EQ(t.to_csv(), "h1,h2\n1,2\n");
+}
+
+TEST(TableTest, DoubleFormatting)
+{
+    EXPECT_EQ(Table::format_cell(0.0), "0");
+    EXPECT_EQ(Table::format_cell(123.456), "123.5");
+    EXPECT_EQ(Table::format_cell(1.5), "1.500");
+    // Very large and very small use scientific notation.
+    EXPECT_NE(Table::format_cell(1e9).find("e"), std::string::npos);
+    EXPECT_NE(Table::format_cell(1e-6).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elk::util

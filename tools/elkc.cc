@@ -1,0 +1,192 @@
+/**
+ * @file
+ * elkc — the Elk command-line compiler driver.
+ *
+ * Compiles a model (built-in preset or an .egf graph file) for an
+ * ICCA chip configuration, runs it on the simulator, and reports the
+ * schedule and measured performance.
+ *
+ *   elkc --model Llama2-13B --batch 32 --seq 2048 --mode elk-full
+ *   elkc --graph my_model.egf --topology mesh --hbm-tbs 8
+ *   elkc --model OPT-30B --dump-timing run.csv --timeline
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "elk/compiler.h"
+#include "elk/device_program.h"
+#include "frontend/graph_io.h"
+#include "graph/model_builder.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/trace_export.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace elk;
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --model NAME      built-in preset (Llama2-13B, Gemma2-27B,\n"
+        "                    OPT-30B, Llama2-70B, DiT-XL)\n"
+        "  --graph FILE.egf  load a serialized graph instead\n"
+        "  --batch N         batch size (default 32)\n"
+        "  --seq N           sequence length / KV depth (default 2048)\n"
+        "  --mode M          basic|static|elk-dyn|elk-full|ideal\n"
+        "  --topology T      all-to-all|mesh (default all-to-all)\n"
+        "  --hbm-tbs X       total HBM bandwidth in TB/s (default 16)\n"
+        "  --chips N         number of chips (default 4)\n"
+        "  --save-graph F    write the built graph as EGF and exit\n"
+        "  --dump-timing F   write per-op phase timings as CSV\n"
+        "  --timeline        print an ASCII schedule timeline\n"
+        "  --program         print the abstract device program head\n",
+        argv0);
+    std::exit(2);
+}
+
+compiler::Mode
+parse_mode(const std::string& mode)
+{
+    if (mode == "basic") return compiler::Mode::kBasic;
+    if (mode == "static") return compiler::Mode::kStatic;
+    if (mode == "elk-dyn") return compiler::Mode::kElkDyn;
+    if (mode == "elk-full") return compiler::Mode::kElkFull;
+    if (mode == "ideal") return compiler::Mode::kIdeal;
+    util::fatal("unknown mode: " + mode);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string model_name = "Llama2-13B";
+    std::string graph_file;
+    std::string save_graph_file;
+    std::string dump_timing_file;
+    int batch = 32;
+    int seq = 2048;
+    std::string mode_name = "elk-full";
+    std::string topology = "all-to-all";
+    double hbm_tbs = 16.0;
+    int chips = 4;
+    bool show_timeline = false;
+    bool show_program = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char* flag) {
+            if (std::strcmp(argv[i], flag) != 0) {
+                return static_cast<const char*>(nullptr);
+            }
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return static_cast<const char*>(argv[++i]);
+        };
+        if (const char* v = arg("--model")) {
+            model_name = v;
+        } else if (const char* v = arg("--graph")) {
+            graph_file = v;
+        } else if (const char* v = arg("--batch")) {
+            batch = std::atoi(v);
+        } else if (const char* v = arg("--seq")) {
+            seq = std::atoi(v);
+        } else if (const char* v = arg("--mode")) {
+            mode_name = v;
+        } else if (const char* v = arg("--topology")) {
+            topology = v;
+        } else if (const char* v = arg("--hbm-tbs")) {
+            hbm_tbs = std::atof(v);
+        } else if (const char* v = arg("--chips")) {
+            chips = std::atoi(v);
+        } else if (const char* v = arg("--save-graph")) {
+            save_graph_file = v;
+        } else if (const char* v = arg("--dump-timing")) {
+            dump_timing_file = v;
+        } else if (std::strcmp(argv[i], "--timeline") == 0) {
+            show_timeline = true;
+        } else if (std::strcmp(argv[i], "--program") == 0) {
+            show_program = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    // --- build the workload ---
+    std::optional<graph::Graph> model;
+    if (!graph_file.empty()) {
+        model = frontend::load_graph(graph_file);
+    } else if (model_name == "DiT-XL") {
+        model = graph::build_dit_graph(graph::dit_xl(), batch, 256);
+    } else {
+        model = graph::build_decode_graph(
+            graph::model_by_name(model_name), batch, seq);
+    }
+    if (!save_graph_file.empty()) {
+        frontend::save_graph(*model, save_graph_file);
+        std::printf("wrote %s (%d operators)\n", save_graph_file.c_str(),
+                    model->size());
+        return 0;
+    }
+
+    // --- target ---
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    chip.num_chips = chips;
+    chip.hbm_total_bw = hbm_tbs * 1e12;
+    if (topology == "mesh") {
+        chip.topology = hw::TopologyKind::kMesh2D;
+    } else if (topology != "all-to-all") {
+        util::fatal("unknown topology: " + topology);
+    }
+
+    // --- compile & run ---
+    compiler::Mode mode = parse_mode(mode_name);
+    compiler::Compiler comp(*model, chip);
+    compiler::CompileOptions opts;
+    opts.mode = mode;
+    auto compiled = comp.compile(opts);
+    sim::Machine machine(chip, mode == compiler::Mode::kIdeal);
+    auto run = runtime::run_plan(machine, *model, compiled.plan,
+                                 comp.context());
+
+    std::printf("model      : %s (%d ops)\n", model->name().c_str(),
+                model->size());
+    std::printf("target     : %d x %d cores, %s, %.1f TB/s HBM\n",
+                chip.num_chips, chip.cores_per_chip,
+                hw::topology_name(chip.topology).c_str(), hbm_tbs);
+    std::printf("design     : %s (compiled in %.2f s)\n",
+                compiled.plan.mode.c_str(), compiled.compile_seconds);
+    std::printf("latency    : %s ms\n",
+                runtime::ms(run.total_time).c_str());
+    std::printf("hbm util   : %s   noc util: %s\n",
+                runtime::pct(run.hbm_util).c_str(),
+                runtime::pct(run.noc_util).c_str());
+    std::printf("tflops     : %.1f\n", run.achieved_tflops);
+    std::printf("peak sram  : %lu KB/core (%s)\n",
+                static_cast<unsigned long>(run.peak_sram_per_core / 1024),
+                run.memory_exceeded ? "EXCEEDED" : "ok");
+
+    if (show_program) {
+        auto program = compiler::build_device_program(compiled.plan);
+        compiler::DeviceProgram head(
+            program.begin(),
+            program.begin() + std::min<size_t>(12, program.size()));
+        std::printf("\n%s...\n",
+                    compiler::to_string(head, *model).c_str());
+    }
+    if (show_timeline) {
+        std::printf("\n%s", runtime::timeline_summary(*model, run).c_str());
+    }
+    if (!dump_timing_file.empty()) {
+        runtime::export_timing(*model, run, dump_timing_file);
+        std::printf("wrote %s\n", dump_timing_file.c_str());
+    }
+    return 0;
+}
