@@ -8,6 +8,7 @@
 #define ELK_BENCH_BENCH_COMMON_H
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,9 @@
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
 #include "sim/engine.h"
+#include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace elk::bench {
 
@@ -27,6 +30,30 @@ fast_mode()
 {
     const char* env = std::getenv("ELK_BENCH_FAST");
     return env != nullptr && env[0] == '1';
+}
+
+/**
+ * Compiler worker threads for the benches: the --jobs N flag when the
+ * driver passes argc/argv, else the ELK_BENCH_JOBS environment knob,
+ * else 1 (serial). 0 means all hardware threads. Plans are
+ * bit-identical at any setting, so jobs only changes wall-clock.
+ */
+inline int
+jobs(int argc = 0, char** argv = nullptr)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                util::fatal("--jobs requires a value");
+            }
+            return util::ThreadPool::parse_jobs_arg(argv[i + 1],
+                                                    "--jobs");
+        }
+    }
+    const char* env = std::getenv("ELK_BENCH_JOBS");
+    return env != nullptr
+               ? util::ThreadPool::parse_jobs_arg(env, "ELK_BENCH_JOBS")
+               : 1;
 }
 
 /// The paper's four LLM evaluation workloads.
@@ -74,11 +101,15 @@ run_design(const compiler::Compiler& comp, const graph::Graph& graph,
     return r;
 }
 
-/// Runs every design on one workload; returns results in design order.
+/// Runs every design on one workload; returns results in design
+/// order. @p n_jobs: compiler worker threads — defaults to the
+/// ELK_BENCH_JOBS knob so every bench built on this helper
+/// parallelizes without plumbing argv.
 inline std::vector<RunResult>
-run_all_designs(const graph::Graph& graph, const hw::ChipConfig& cfg)
+run_all_designs(const graph::Graph& graph, const hw::ChipConfig& cfg,
+                int n_jobs = jobs())
 {
-    compiler::Compiler comp(graph, cfg);
+    compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
     std::vector<RunResult> out;
     for (auto mode : all_designs()) {
         out.push_back(run_design(comp, graph, cfg, mode));

@@ -5,32 +5,47 @@
  * minutes on a 32-core CPU (Python implementation); this C++
  * implementation is faster, but the shape — sub-linear growth of the
  * search space with model/batch size — must hold.
+ *
+ * Usage: bench_fig16_compile_time [--jobs N]
+ *
+ * N > 1 fans the plan-library build and the preload-order scoring out
+ * over the work-stealing pool; the emitted ExecutionPlan is
+ * bit-identical to --jobs 1 (pipeline_test verifies this), so wall
+ * clock is the only difference. wall(s) measures hardware analysis +
+ * plan library + scheduling end to end; compile(s) is the scheduling
+ * portion (CompileResult::compile_seconds).
  */
+#include <chrono>
+
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
     auto cfg = hw::ChipConfig::ipu_pod4();
+    const int jobs = bench::jobs(argc, argv);
     std::vector<int> batches = bench::fast_mode()
                                    ? std::vector<int>{8, 32}
                                    : std::vector<int>{2, 4, 8, 16, 32, 64};
 
-    util::Table table({"model", "batch", "compile(s)", "orders_tested",
-                       "N", "P", "K"});
+    util::Table table({"model", "batch", "jobs", "wall(s)", "compile(s)",
+                       "orders_tested", "N", "P", "K"});
 
     for (const auto& model : bench::llm_models()) {
         for (int batch : batches) {
             auto graph = graph::build_decode_graph(model, batch, 2048);
-            compiler::Compiler comp(graph, cfg);
+            auto t0 = std::chrono::steady_clock::now();
+            compiler::Compiler comp(graph, cfg, nullptr, jobs);
             compiler::CompileOptions opts;
             opts.mode = compiler::Mode::kElkFull;
             opts.max_orders = bench::fast_mode() ? 6 : 96;
             auto result = comp.compile(opts);
-            table.add(model.name, batch, result.compile_seconds,
-                      result.stats.orders_tested, result.stats.n_ops,
-                      result.stats.max_plans,
+            auto t1 = std::chrono::steady_clock::now();
+            double wall = std::chrono::duration<double>(t1 - t0).count();
+            table.add(model.name, batch, comp.jobs(), wall,
+                      result.compile_seconds, result.stats.orders_tested,
+                      result.stats.n_ops, result.stats.max_plans,
                       result.stats.max_fit_window);
         }
     }

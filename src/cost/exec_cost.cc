@@ -79,4 +79,16 @@ detailed_tile_time(const TileWork& tile, const hw::ChipConfig& cfg)
            cfg.tile_launch_overhead_s;
 }
 
+ExecCostHandle
+make_analytic_cost()
+{
+    return std::make_shared<AnalyticExecCost>();
+}
+
+ExecCostHandle
+borrow_cost_model(const ExecCostModel* model)
+{
+    return ExecCostHandle(model, [](const ExecCostModel*) {});
+}
+
 }  // namespace elk::cost

@@ -16,6 +16,8 @@
 #ifndef ELK_COST_EXEC_COST_H
 #define ELK_COST_EXEC_COST_H
 
+#include <memory>
+
 #include "graph/op.h"
 #include "hw/chip_config.h"
 
@@ -52,6 +54,21 @@ class AnalyticExecCost : public ExecCostModel {
     double tile_time(const TileWork& tile,
                      const hw::ChipConfig& cfg) const override;
 };
+
+/**
+ * Shared, const-safe handle to a cost model. Implementations must be
+ * immutable after construction (tile_time is const and called
+ * concurrently from the compiler's parallel passes); the shared_ptr
+ * keeps the model alive for every CompileState that references it.
+ */
+using ExecCostHandle = std::shared_ptr<const ExecCostModel>;
+
+/// A fresh analytic cost model behind a shared handle.
+ExecCostHandle make_analytic_cost();
+
+/// Wraps a caller-owned model (must outlive the handle) without
+/// taking ownership.
+ExecCostHandle borrow_cost_model(const ExecCostModel* model);
 
 /**
  * Detailed per-tile time with shape-dependent pipeline efficiency and

@@ -1,399 +1,83 @@
 #include "elk/compiler.h"
 
-#include <algorithm>
 #include <chrono>
-#include <limits>
 
-#include "elk/ideal.h"
-#include "elk/inductive_scheduler.h"
-#include "elk/preload_reorder.h"
-#include "runtime/executor.h"
-#include "sim/engine.h"
-#include "sim/machine.h"
 #include "util/logging.h"
 
 namespace elk::compiler {
 
-std::string
-mode_name(Mode mode)
-{
-    switch (mode) {
-      case Mode::kBasic: return "Basic";
-      case Mode::kStatic: return "Static";
-      case Mode::kElkDyn: return "Elk-Dyn";
-      case Mode::kElkFull: return "Elk-Full";
-      case Mode::kIdeal: return "Ideal";
-    }
-    return "?";
-}
-
 Compiler::Compiler(const graph::Graph& graph, const hw::ChipConfig& cfg,
-                   const cost::ExecCostModel* cost_model)
-    : graph_(graph), cfg_(cfg)
+                   const cost::ExecCostModel* cost_model, int jobs)
+    : pipeline_(CompilerPipeline::standard())
 {
-    cfg_.validate();
-    topo_ = std::make_unique<hw::Topology>(cfg_);
-    traffic_ = std::make_unique<hw::TrafficModel>(*topo_, cfg_);
-    if (cost_model == nullptr) {
-        owned_cost_ = std::make_unique<cost::AnalyticExecCost>();
-        cost_model = owned_cost_.get();
+    int threads = util::ThreadPool::resolve_jobs(jobs);
+    if (threads > 1) {
+        pool_ = std::make_unique<util::ThreadPool>(threads);
     }
-    ctx_.cfg = &cfg_;
-    ctx_.traffic = traffic_.get();
-    ctx_.exec_cost = cost_model;
-    library_ = std::make_unique<PlanLibrary>(graph_, ctx_);
+    state_.graph = &graph;
+    state_.pool = pool_.get();
+    state_.cfg = std::make_shared<hw::ChipConfig>(cfg);
+    if (cost_model != nullptr) {
+        state_.ctx.set_cost_model(cost::borrow_cost_model(cost_model));
+    }
+    // Build the analysis products once; every compile() reuses them.
+    pipeline_.run_prefix(state_, "plan-library");
 }
 
-const sim::Machine&
-Compiler::tuning_machine() const
+int
+Compiler::jobs() const
 {
-    if (!machine_) {
-        machine_ = std::make_unique<sim::Machine>(cfg_);
-    }
-    return *machine_;
+    return pool_ ? pool_->size() : 1;
 }
 
 int
 Compiler::max_fit_window() const
 {
-    const uint64_t budget = ctx_.sram_budget();
-    const int n = graph_.size();
-    // Minimum per-op preload space (smallest plan).
-    std::vector<uint64_t> min_space(n);
-    for (int i = 0; i < n; ++i) {
-        min_space[i] = library_->preload_plans(i, 0).back().preload_space;
-    }
-    // Longest window via two pointers.
-    int best = 0;
-    uint64_t sum = 0;
-    int left = 0;
-    for (int right = 0; right < n; ++right) {
-        sum += min_space[right];
-        while (sum > budget && left <= right) {
-            sum -= min_space[left++];
-        }
-        best = std::max(best, right - left + 1);
-    }
-    return best;
-}
-
-ExecutionPlan
-Compiler::compile_basic() const
-{
-    const int n = graph_.size();
-    const uint64_t budget = ctx_.sram_budget();
-    ExecutionPlan plan;
-    plan.mode = "Basic";
-    plan.ops.resize(n);
-    InductiveScheduler sched(*library_);
-
-    for (int i = 0; i < n; ++i) {
-        OpSchedule& op = plan.ops[i];
-        op.op_id = i;
-        // Basic maximizes the execution space: always the fastest plan.
-        op.exec = library_->exec_plans(i)[0];
-        op.est_exec_time = op.exec.exec_time;
-    }
-    for (int i = 0; i < n; ++i) {
-        OpSchedule& op = plan.ops[i];
-        // The remaining space while the *previous* operator executes
-        // bounds this operator's preload footprint.
-        uint64_t prev_exec =
-            i > 0 ? plan.ops[i - 1].exec.exec_space : 0;
-        uint64_t room = budget > prev_exec ? budget - prev_exec : 0;
-        const auto& front = library_->preload_plans(i, 0);
-        int pick = static_cast<int>(front.size()) - 1;
-        for (int c = 0; c < static_cast<int>(front.size()); ++c) {
-            if (front[c].preload_space <= room) {
-                pick = c;
-                break;
-            }
-        }
-        op.preload = front[pick];
-        op.est_preload_time = sched.preload_duration(i, op.preload);
-        plan.preload_order.push_back(i);
-        plan.issue_slot.push_back(std::max(0, i - 1));
-    }
-    double exec_sum = 0.0;
-    for (const auto& op : plan.ops) {
-        exec_sum += op.est_exec_time + op.est_preload_time;
-    }
-    plan.est_total_time = exec_sum;
-    return plan;
-}
-
-ExecutionPlan
-Compiler::compile_static(const CompileOptions& opts) const
-{
-    const int n = graph_.size();
-    const uint64_t budget = ctx_.sram_budget();
-    InductiveScheduler sched(*library_);
-
-    // Candidate static preload-region sizes and preload-state policy
-    // (paper §6.1: all-largest or all-smallest footprint, whichever is
-    // faster; best static sizes for the whole model). A caller-fixed
-    // region skips the size search (used by the Fig. 6 sweep).
-    std::vector<uint64_t> regions;
-    if (opts.static_region > 0) {
-        regions.push_back(std::min(opts.static_region, budget - 1));
-    } else {
-        for (uint64_t kb : {64, 96, 128, 192, 256, 320, 384, 448}) {
-            uint64_t r = kb * 1024;
-            if (r < budget) {
-                regions.push_back(r);
-            }
-        }
-    }
-
-    ExecutionPlan best;
-    double best_time = std::numeric_limits<double>::infinity();
-    sim::Engine engine(tuning_machine());
-
-    for (uint64_t region : regions) {
-        for (bool use_max : {true, false}) {
-            ExecutionPlan plan;
-            plan.mode = "Static";
-            plan.ops.resize(n);
-            bool ok = true;
-            for (int i = 0; i < n && ok; ++i) {
-                OpSchedule& op = plan.ops[i];
-                op.op_id = i;
-                // Fastest plan within the fixed execution region; an
-                // operator whose smallest plan exceeds it temporarily
-                // borrows from the preload region (the region is a
-                // policy, not a hardware fence).
-                const auto& front = library_->exec_plans(i);
-                int pick = static_cast<int>(front.size()) - 1;
-                for (int e = 0; e < static_cast<int>(front.size()); ++e) {
-                    if (front[e].exec_space <= budget - region) {
-                        pick = e;
-                        break;
-                    }
-                }
-                op.exec = front[pick];
-                op.est_exec_time = op.exec.exec_time;
-                const auto& pre = library_->preload_plans(i, pick);
-                int c = use_max ? 0 : static_cast<int>(pre.size()) - 1;
-                // The chosen footprint must fit the region at all.
-                while (c < static_cast<int>(pre.size()) - 1 &&
-                       pre[c].preload_space > region) {
-                    ++c;
-                }
-                op.preload = pre[c];
-                op.est_preload_time = sched.preload_duration(i, op.preload);
-            }
-            if (!ok) {
-                continue;
-            }
-            // Forward-fill preload issue slots into the fixed region.
-            plan.preload_order.clear();
-            plan.issue_slot.clear();
-            std::vector<std::pair<int, uint64_t>> live;  // (op, space)
-            uint64_t avail = region;
-            int next = 0;
-            for (int slot = 0; slot < n && next < n; ++slot) {
-                // Free preloads whose operators have executed.
-                while (!live.empty() && live.front().first < slot) {
-                    avail += live.front().second;
-                    live.erase(live.begin());
-                }
-                while (next < n) {
-                    uint64_t space = plan.ops[next].preload.preload_space;
-                    bool must_issue = next == slot;
-                    if (!must_issue && space > avail) {
-                        break;
-                    }
-                    avail = space > avail ? 0 : avail - space;
-                    live.emplace_back(next, space);
-                    plan.preload_order.push_back(next);
-                    plan.issue_slot.push_back(slot);
-                    ++next;
-                }
-            }
-            for (; next < n; ++next) {
-                plan.preload_order.push_back(next);
-                plan.issue_slot.push_back(next);
-            }
-
-            sim::SimResult run = engine.run(
-                runtime::lower_to_sim(graph_, plan, ctx_));
-            plan.est_total_time = run.total_time;
-            if (run.total_time < best_time) {
-                best_time = run.total_time;
-                best = std::move(plan);
-            }
-        }
-    }
-    util::check(!best.ops.empty(), "Static: no feasible configuration");
-    return best;
-}
-
-ExecutionPlan
-Compiler::compile_elk(const CompileOptions& opts, SearchStats* stats) const
-{
-    InductiveScheduler sched(*library_);
-    ScheduleOptions sopts;
-    sopts.max_window = opts.max_window;
-
-    // The scheduler's additive estimate cannot see global fabric
-    // contention, so the preload depth cap is itself a tuning knob:
-    // schedule the identity order at a few caps and keep the best
-    // simulated plan (offline tuning, like the Static size search).
-    std::optional<ExecutionPlan> in_order;
-    {
-        sim::Engine engine(tuning_machine());
-        double best_time = std::numeric_limits<double>::infinity();
-        std::vector<int> windows;
-        for (int w = opts.max_window; w >= 1; w = w * 2 / 3) {
-            windows.push_back(w);
-            if (w == 1) {
-                break;
-            }
-        }
-        for (int window : windows) {
-            for (double weight : {0.0, 0.25, 1.0, 4.0, 1e9}) {
-                ScheduleOptions wopts = sopts;
-                wopts.max_window = window;
-                wopts.overhead_weight = weight;
-                auto cand = sched.schedule_in_order(wopts);
-                if (!cand) {
-                    continue;
-                }
-                double t =
-                    engine.run(runtime::lower_to_sim(graph_, *cand, ctx_))
-                        .total_time;
-                if (t < best_time) {
-                    best_time = t;
-                    sopts.max_window = window;
-                    sopts.overhead_weight = weight;
-                    in_order = std::move(cand);
-                }
-            }
-        }
-    }
-    util::check(in_order.has_value(),
-                "Elk: identity preload order infeasible");
-    // The uniform preload/execution split is one more point of Elk's
-    // trade-off space (a fixed frontier with fixed spaces); include it
-    // in the sweep so the dynamic search never regresses below it.
-    {
-        sim::Engine engine(tuning_machine());
-        double in_order_time =
-            engine.run(runtime::lower_to_sim(graph_, *in_order, ctx_))
-                .total_time;
-        ExecutionPlan uniform = compile_static(opts);
-        double uniform_time =
-            engine.run(runtime::lower_to_sim(graph_, uniform, ctx_))
-                .total_time;
-        if (uniform_time < in_order_time) {
-            in_order = std::move(uniform);
-        }
-    }
-    in_order->mode = "Elk-Dyn";
-    if (opts.mode == Mode::kElkDyn) {
-        if (stats != nullptr) {
-            stats->orders_tested = 1;
-        }
-        return *in_order;
-    }
-
-    // Elk-Full: evaluate candidate preload orders on a model prefix,
-    // then schedule the full model with the winner (§4.4).
-    ReorderStats rstats;
-    auto orders =
-        generate_candidate_orders(*library_, opts.max_orders, &rstats);
-    if (stats != nullptr) {
-        stats->heavy_per_layer = rstats.heavy_per_layer;
-        stats->heavy_fit = rstats.heavy_fit_on_chip;
-        stats->orders_tested = rstats.candidates;
-    }
-
-    // Score on a prefix of the model.
-    int prefix_ops = 0;
-    for (const auto& op : graph_.ops()) {
-        if (op.layer >= 0 && op.layer < opts.score_layers) {
-            prefix_ops = op.id + 1;
-        }
-    }
-    if (prefix_ops == 0) {
-        prefix_ops = graph_.size();
-    }
-    ScheduleOptions score_opts = sopts;
-    score_opts.limit_ops = prefix_ops;
-
-    // Each candidate order is scheduled on the prefix and *simulated*
-    // (the paper: "applies operator scheduling policies and conducts a
-    // performance estimation") — the simulator sees the interconnect
-    // contention that reordering is meant to avoid.
-    sim::Engine engine(tuning_machine());
-    const std::vector<int>* best_order = nullptr;
-    double best_score = std::numeric_limits<double>::infinity();
-    for (const auto& order : orders) {
-        auto result = sched.schedule(order, score_opts);
-        if (!result) {
-            continue;
-        }
-        double score =
-            engine.run(runtime::lower_to_sim(graph_, *result, ctx_))
-                .total_time;
-        if (score < best_score) {
-            best_score = score;
-            best_order = &order;
-        }
-    }
-
-    // Schedule the winner on the full model; fall back to the identity
-    // order when it does not actually win end to end.
-    std::optional<ExecutionPlan> full;
-    if (best_order != nullptr) {
-        full = sched.schedule(*best_order, sopts);
-    }
-    if (full) {
-        double full_time =
-            engine.run(runtime::lower_to_sim(graph_, *full, ctx_))
-                .total_time;
-        double identity_time =
-            engine.run(runtime::lower_to_sim(graph_, *in_order, ctx_))
-                .total_time;
-        if (identity_time < full_time) {
-            full = std::move(in_order);
-        }
-    } else {
-        full = std::move(in_order);
-    }
-    full->mode = "Elk-Full";
-    return *full;
+    return compiler::max_fit_window(*state_.library);
 }
 
 CompileResult
 Compiler::compile(const CompileOptions& opts) const
 {
     auto t0 = std::chrono::steady_clock::now();
+    pipeline_.validate_filter(opts.pass_filter);
+
+    CompileState state = state_;  // shares the analysis products
+    state.opts = opts;
+    {
+        std::lock_guard<std::mutex> lock(machine_mu_);
+        state.tuning_machine = cached_machine_;
+    }
+
+    // Per-compile job override: 0 inherits the construction pool.
+    std::unique_ptr<util::ThreadPool> local_pool;
+    if (opts.jobs != 0) {
+        int threads = util::ThreadPool::resolve_jobs(opts.jobs);
+        if (threads <= 1) {
+            state.pool = nullptr;
+        } else if (pool_ && pool_->size() == threads) {
+            state.pool = pool_.get();
+        } else {
+            local_pool = std::make_unique<util::ThreadPool>(threads);
+            state.pool = local_pool.get();
+        }
+    }
+
+    pipeline_.run(state);
+    util::check(state.plan.has_value(),
+                "compile: the pipeline produced no ExecutionPlan for "
+                "mode " + mode_name(opts.mode) +
+                    " — a scheduling pass was skipped (--passes?)");
+    {
+        std::lock_guard<std::mutex> lock(machine_mu_);
+        if (!cached_machine_) {
+            cached_machine_ = state.tuning_machine;
+        }
+    }
+
     CompileResult result;
-    switch (opts.mode) {
-      case Mode::kBasic:
-        result.plan = compile_basic();
-        break;
-      case Mode::kStatic:
-        result.plan = compile_static(opts);
-        break;
-      case Mode::kElkDyn:
-      case Mode::kElkFull:
-        result.plan = compile_elk(opts, &result.stats);
-        break;
-      case Mode::kIdeal:
-        result.plan = build_ideal_plan(*library_);
-        break;
-    }
-    result.stats.n_ops = graph_.size();
-    result.stats.max_plans = library_->max_plans_per_op();
-    result.stats.max_fit_window = max_fit_window();
-    if (result.stats.heavy_per_layer == 0) {
-        result.stats.heavy_per_layer = graph_.hbm_heavy_per_layer();
-    }
-    if (result.stats.heavy_fit == 0) {
-        result.stats.heavy_fit = heavy_ops_fit_on_chip(*library_);
-    }
+    result.plan = std::move(*state.plan);
+    result.stats = state.stats;
     auto t1 = std::chrono::steady_clock::now();
     result.compile_seconds =
         std::chrono::duration<double>(t1 - t0).count();

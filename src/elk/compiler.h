@@ -1,8 +1,9 @@
 /**
  * @file
- * The Elk compiler facade (paper Fig. 9): owns the hardware analysis,
- * the plan library and the scheduling passes, and produces execution
- * plans for the Elk designs and the evaluation baselines of §6.1:
+ * The Elk compiler facade (paper Fig. 9): a thin driver over the pass
+ * pipeline in pass.h. It owns the analysis products (hardware
+ * analysis + plan library, built once per (graph, chip) pair) and
+ * runs the mode-gated scheduling passes per compile() call:
  *
  *  - Basic:    maximize execution space, preload only the next op;
  *  - Static:   T10-extended — fixed preload/execution split, best
@@ -11,52 +12,24 @@
  *  - Elk-Full: Elk-Dyn plus preload order permutation (§4.4);
  *  - Ideal:    the §6.1 roofline (run it on an ideal split-fabric
  *              Machine).
+ *
+ * Compilation parallelizes over a work-stealing pool (the `jobs`
+ * knob); the produced plan is bit-identical at any job count.
  */
 #ifndef ELK_ELK_COMPILER_H
 #define ELK_ELK_COMPILER_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cost/exec_cost.h"
+#include "elk/pass.h"
 #include "elk/schedule_ir.h"
 #include "hw/chip_config.h"
-#include "hw/topology.h"
-#include "hw/traffic.h"
-#include "sim/machine.h"
+#include "util/thread_pool.h"
 
 namespace elk::compiler {
-
-/// Compilation designs (paper §6.1).
-enum class Mode { kBasic, kStatic, kElkDyn, kElkFull, kIdeal };
-
-/// Human-readable mode name as used in the paper's figures.
-std::string mode_name(Mode mode);
-
-/// Compiler knobs.
-struct CompileOptions {
-    Mode mode = Mode::kElkFull;
-    /// Cap on simultaneously live preloads the scheduler explores.
-    int max_window = 28;
-    /// Maximum candidate preload orders evaluated (Elk-Full).
-    int max_orders = 96;
-    /// Layers of the model used to score candidate orders before the
-    /// winner is scheduled on the full model (compile-time pruning).
-    int score_layers = 2;
-    /// Static mode only: fixed per-core preload-region size in bytes;
-    /// 0 searches the best static size offline (§6.1).
-    uint64_t static_region = 0;
-};
-
-/// Search-space statistics (paper Table 2) gathered during compile.
-struct SearchStats {
-    int n_ops = 0;          ///< N.
-    int max_plans = 0;      ///< P.
-    int max_fit_window = 0; ///< K.
-    int heavy_per_layer = 0;///< H.
-    int heavy_fit = 0;      ///< C.
-    int orders_tested = 0;  ///< candidate preload orders evaluated.
-};
 
 /// Result of one compilation.
 struct CompileResult {
@@ -69,43 +42,47 @@ struct CompileResult {
 class Compiler {
   public:
     /**
-     * Builds hardware analysis and the plan library. @p cost_model
-     * overrides the planner's execution cost model (default: the
-     * analytic model); the pointer must outlive the compiler.
+     * Builds the analysis products (hardware analysis + plan library)
+     * by running the pipeline prefix. @p cost_model overrides the
+     * planner's execution cost model (default: the analytic model);
+     * the pointer must outlive the compiler. @p jobs sets the worker
+     * threads for the parallel passes — 1 (default) is serial, 0 uses
+     * every hardware thread, N > 1 uses N threads; the plan library
+     * build in this constructor already fans out over them.
      */
     Compiler(const graph::Graph& graph, const hw::ChipConfig& cfg,
-             const cost::ExecCostModel* cost_model = nullptr);
+             const cost::ExecCostModel* cost_model = nullptr,
+             int jobs = 1);
 
-    /// Compiles an execution plan for the requested design.
+    /// Compiles an execution plan for the requested design by running
+    /// the scheduling passes of the pipeline.
     CompileResult compile(const CompileOptions& opts = {}) const;
 
     /// Plan library (Table 2 statistics, tests).
-    const PlanLibrary& library() const { return *library_; }
+    const PlanLibrary& library() const { return *state_.library; }
 
     /// Plan context (for lowering to the simulator).
-    const plan::PlanContext& context() const { return ctx_; }
+    const plan::PlanContext& context() const { return state_.ctx; }
+
+    /// The pass pipeline this compiler drives (--passes, tests).
+    const CompilerPipeline& pipeline() const { return pipeline_; }
 
     /// The paper's K for this graph: the longest run of consecutive
     /// operators whose minimum preload spaces fit on-chip together.
     int max_fit_window() const;
 
-  private:
-    /// Lazily built simulator machine used for offline tuning (Static
-    /// size search, §4.4 candidate-order performance estimation).
-    const sim::Machine& tuning_machine() const;
-    ExecutionPlan compile_basic() const;
-    ExecutionPlan compile_static(const CompileOptions& opts) const;
-    ExecutionPlan compile_elk(const CompileOptions& opts,
-                              SearchStats* stats) const;
+    /// Worker threads of the construction-time pool (1 = serial).
+    int jobs() const;
 
-    const graph::Graph& graph_;
-    hw::ChipConfig cfg_;
-    std::unique_ptr<hw::Topology> topo_;
-    std::unique_ptr<hw::TrafficModel> traffic_;
-    std::unique_ptr<cost::ExecCostModel> owned_cost_;
-    plan::PlanContext ctx_;
-    std::unique_ptr<PlanLibrary> library_;
-    mutable std::unique_ptr<sim::Machine> machine_;
+  private:
+    CompilerPipeline pipeline_;
+    std::unique_ptr<util::ThreadPool> pool_;
+    CompileState state_;  ///< analysis products shared by compiles.
+    /// Offline-tuning machine cached across compile() calls; guarded
+    /// by machine_mu_ so concurrent compile() calls on one Compiler
+    /// are safe (the rest of compile() works on a private state copy).
+    mutable std::mutex machine_mu_;
+    mutable std::shared_ptr<const sim::Machine> cached_machine_;
 };
 
 }  // namespace elk::compiler

@@ -1,8 +1,11 @@
 #include "elk/preload_reorder.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
+#include "runtime/executor.h"
+#include "sim/engine.h"
 #include "util/logging.h"
 
 namespace elk::compiler {
@@ -137,6 +140,31 @@ generate_candidate_orders(const PlanLibrary& library, int max_orders,
         stats->candidates = static_cast<int>(orders.size());
     }
     return orders;
+}
+
+std::vector<double>
+score_candidate_orders(const PlanLibrary& library,
+                       const std::vector<std::vector<int>>& orders,
+                       const ScheduleOptions& score_opts,
+                       const sim::Machine& machine, util::ThreadPool* pool)
+{
+    const graph::Graph& graph = library.graph();
+    const plan::PlanContext& ctx = library.context();
+    const InductiveScheduler sched(library);
+    std::vector<double> scores(orders.size(),
+                               std::numeric_limits<double>::infinity());
+    util::ThreadPool::run(pool, static_cast<int>(orders.size()),
+                          [&](int i) {
+        auto result = sched.schedule(orders[i], score_opts);
+        if (!result) {
+            return;  // invalid order: stays at infinity
+        }
+        sim::Engine engine(machine);
+        scores[i] =
+            engine.run(runtime::lower_to_sim(graph, *result, ctx))
+                .total_time;
+    });
+    return scores;
 }
 
 }  // namespace elk::compiler

@@ -22,7 +22,10 @@
 
 #include <vector>
 
+#include "elk/inductive_scheduler.h"
 #include "elk/schedule_ir.h"
+#include "sim/machine.h"
+#include "util/thread_pool.h"
 
 namespace elk::compiler {
 
@@ -47,6 +50,21 @@ std::vector<std::vector<int>> generate_candidate_orders(
  * simultaneously.
  */
 int heavy_ops_fit_on_chip(const PlanLibrary& library);
+
+/**
+ * Scores every candidate order: schedules it under @p score_opts
+ * (typically truncated to a model prefix via limit_ops) and simulates
+ * the result on @p machine — the paper's §4.4 "performance
+ * estimation". Returns one total-time score per candidate, infinity
+ * for orders the scheduler rejects. Candidates fan out over @p pool
+ * (nullptr = serial) and write disjoint slots, so the scores — and
+ * any first-minimum winner selection over them — are bit-identical to
+ * the serial evaluation.
+ */
+std::vector<double> score_candidate_orders(
+    const PlanLibrary& library, const std::vector<std::vector<int>>& orders,
+    const ScheduleOptions& score_opts, const sim::Machine& machine,
+    util::ThreadPool* pool);
 
 }  // namespace elk::compiler
 

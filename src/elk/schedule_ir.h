@@ -7,12 +7,12 @@
 #ifndef ELK_ELK_SCHEDULE_IR_H
 #define ELK_ELK_SCHEDULE_IR_H
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "plan/plan_enumerator.h"
+#include "util/thread_pool.h"
 
 namespace elk::compiler {
 
@@ -34,8 +34,17 @@ struct ExecutionPlan {
     double est_total_time = 0.0;     ///< scheduler's own estimate.
 
     /// Average §6.2-style edit distance of the preload order from the
-    /// execution order (mean |position - exec index| over moved ops).
+    /// execution order (mean |position - exec index| over moved ops);
+    /// 0 for an empty or unmoved plan.
     double reorder_edit_distance() const;
+
+    /**
+     * Exact byte-level serialization of the whole plan (doubles as
+     * IEEE bit patterns). Two plans serialize identically iff every
+     * field is bit-identical — the check the parallel compiler uses
+     * to prove it matches the serial path.
+     */
+    std::string serialize_bits() const;
 };
 
 /**
@@ -45,15 +54,25 @@ struct ExecutionPlan {
  */
 class PlanLibrary {
   public:
-    PlanLibrary(const graph::Graph& graph, const plan::PlanContext& ctx);
+    /**
+     * Enumerates every signature's execute-state front and, for each
+     * of its plans, the derived preload-state front. @p pool fans the
+     * per-signature enumerations out across worker threads (nullptr =
+     * serial); the resulting library is bit-identical either way and
+     * fully immutable afterwards, so lookups are safe from any thread.
+     */
+    PlanLibrary(const graph::Graph& graph, const plan::PlanContext& ctx,
+                util::ThreadPool* pool = nullptr);
 
     /// Pareto-front execute-state plans of op @p id, fastest first.
+    /// Panics with the operator's name if the front is empty.
     const std::vector<plan::ExecPlan>& exec_plans(int id) const;
 
     /**
      * Pareto-front preload-state plans of op @p id given that it will
      * execute with exec_plans(id)[exec_idx]; largest-memory first
-     * (MaxPreload at index 0). Lazily computed and cached.
+     * (MaxPreload at index 0). Panics with a clear message when
+     * exec_idx is out of range or the front is empty.
      */
     const std::vector<plan::PreloadPlan>& preload_plans(int id,
                                                         int exec_idx) const;
@@ -68,13 +87,16 @@ class PlanLibrary {
     const plan::PlanContext& context() const { return ctx_; }
 
   private:
+    int checked_signature(int id, const char* what) const;
+
     const graph::Graph& graph_;
     plan::PlanContext ctx_;
     std::vector<int> signature_of_;  ///< op id -> front index.
     std::vector<std::vector<plan::ExecPlan>> fronts_;
-    /// (front index, exec plan index) -> preload front.
-    mutable std::map<std::pair<int, int>, std::vector<plan::PreloadPlan>>
-        preload_cache_;
+    /// [front index][exec plan index] -> preload front; eagerly built
+    /// so post-construction reads never mutate the library.
+    std::vector<std::vector<std::vector<plan::PreloadPlan>>>
+        preload_fronts_;
 };
 
 }  // namespace elk::compiler

@@ -313,6 +313,17 @@ enumerate_exec_plans(const graph::Operator& op, const PlanContext& ctx)
     return front;
 }
 
+std::vector<std::vector<ExecPlan>>
+enumerate_exec_fronts(const std::vector<const graph::Operator*>& ops,
+                      const PlanContext& ctx, util::ThreadPool* pool)
+{
+    std::vector<std::vector<ExecPlan>> fronts(ops.size());
+    util::ThreadPool::run(pool, static_cast<int>(ops.size()), [&](int i) {
+        fronts[i] = enumerate_exec_plans(*ops[i], ctx);
+    });
+    return fronts;
+}
+
 int
 min_time_cost_index(const std::vector<PreloadPlan>& front, int floor)
 {

@@ -14,6 +14,7 @@
 #include "hw/chip_config.h"
 #include "hw/traffic.h"
 #include "plan/partition_plan.h"
+#include "util/thread_pool.h"
 
 namespace elk::plan {
 
@@ -22,6 +23,19 @@ struct PlanContext {
     const hw::ChipConfig* cfg = nullptr;
     const hw::TrafficModel* traffic = nullptr;
     const cost::ExecCostModel* exec_cost = nullptr;
+    /// Optional owner of exec_cost: a const-safe shared handle that
+    /// keeps the model alive across CompileState copies and worker
+    /// threads. Set it with set_cost_model(); contexts built around a
+    /// caller-owned model may leave it empty and fill exec_cost alone.
+    cost::ExecCostHandle exec_cost_owner;
+
+    /// Points exec_cost at @p handle and retains ownership of it.
+    void
+    set_cost_model(cost::ExecCostHandle handle)
+    {
+        exec_cost_owner = std::move(handle);
+        exec_cost = exec_cost_owner.get();
+    }
 
     /// SRAM budget per core available to the compiler.
     uint64_t sram_budget() const { return cfg->usable_sram_per_core(); }
@@ -36,6 +50,17 @@ struct PlanContext {
  */
 std::vector<ExecPlan> enumerate_exec_plans(const graph::Operator& op,
                                            const PlanContext& ctx);
+
+/**
+ * Enumerates the execute-state Pareto front of every operator in
+ * @p ops, optionally fanning the per-operator enumerations out over
+ * @p pool (nullptr = serial). Result i is the front of ops[i];
+ * identical to calling enumerate_exec_plans per operator, in any
+ * pool configuration (per-slot writes, no cross-operator state).
+ */
+std::vector<std::vector<ExecPlan>> enumerate_exec_fronts(
+    const std::vector<const graph::Operator*>& ops, const PlanContext& ctx,
+    util::ThreadPool* pool = nullptr);
 
 /**
  * Enumerates Pareto-optimal preload-state plans for a preloaded @p op

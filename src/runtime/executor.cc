@@ -12,6 +12,12 @@ lower_to_sim(const graph::Graph& graph, const compiler::ExecutionPlan& plan,
              const plan::PlanContext& ctx)
 {
     const hw::ChipConfig& cfg = *ctx.cfg;
+    util::check(!plan.ops.empty(),
+                "lower_to_sim: empty ExecutionPlan (did every "
+                "scheduling pass get filtered out?)");
+    util::check(static_cast<int>(plan.ops.size()) <= graph.size(),
+                "lower_to_sim: plan schedules more operators than the "
+                "graph has");
     sim::SimProgram program;
     program.ops.reserve(plan.ops.size());
 

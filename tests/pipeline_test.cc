@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the pass-pipeline compiler core: pass ordering and
+ * mode-gating, the work-stealing thread pool, and the bit-identity of
+ * parallel and serial compilation (the determinism contract of
+ * pass.h) on both the tiny fixture and the quickstart model.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "elk/compiler.h"
+#include "elk/pass.h"
+#include "graph/model_builder.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+
+namespace elk::compiler {
+namespace {
+
+std::vector<std::string>
+enabled_for(Mode mode)
+{
+    CompilerPipeline pipeline = CompilerPipeline::standard();
+    CompileState probe;
+    probe.opts.mode = mode;
+    return pipeline.enabled_passes(probe);
+}
+
+TEST(PipelineTest, StandardPassOrder)
+{
+    auto names = CompilerPipeline::standard().pass_names();
+    std::vector<std::string> expected = {
+        "hardware-analysis", "plan-library",         "schedule-basic",
+        "schedule-static",   "schedule-elk",         "preload-order-search",
+        "schedule-ideal",    "finalize",
+    };
+    EXPECT_EQ(names, expected);
+}
+
+TEST(PipelineTest, ModeGatingSelectsOneSchedulingPass)
+{
+    EXPECT_EQ(enabled_for(Mode::kBasic),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-basic", "finalize"}));
+    EXPECT_EQ(enabled_for(Mode::kStatic),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-static", "finalize"}));
+    EXPECT_EQ(enabled_for(Mode::kElkDyn),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-elk", "finalize"}));
+    EXPECT_EQ(enabled_for(Mode::kElkFull),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-elk",
+                                        "preload-order-search", "finalize"}));
+    EXPECT_EQ(enabled_for(Mode::kIdeal),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-ideal", "finalize"}));
+}
+
+TEST(PipelineTest, PassFilterNarrowsSelection)
+{
+    CompilerPipeline pipeline = CompilerPipeline::standard();
+    CompileState probe;
+    probe.opts.mode = Mode::kElkFull;
+    probe.opts.pass_filter = {"hardware-analysis", "plan-library",
+                              "schedule-elk", "finalize"};
+    EXPECT_EQ(pipeline.enabled_passes(probe),
+              (std::vector<std::string>{"hardware-analysis", "plan-library",
+                                        "schedule-elk", "finalize"}));
+    // The filter cannot enable a pass the mode gates out.
+    probe.opts.mode = Mode::kBasic;
+    probe.opts.pass_filter = {"schedule-ideal", "finalize"};
+    EXPECT_EQ(pipeline.enabled_passes(probe),
+              (std::vector<std::string>{"finalize"}));
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce)
+{
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    const int n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPoolTest, InlineWhenSingleThreaded)
+{
+    util::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 0);  // no workers: parallel_for runs inline
+    int sum = 0;
+    pool.parallel_for(100, [&](int i) { sum += i; });  // safe: inline
+    EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions)
+{
+    util::ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](int i) {
+                                       if (i == 17) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ResolveJobs)
+{
+    EXPECT_GE(util::ThreadPool::hardware_jobs(), 1);
+    EXPECT_EQ(util::ThreadPool::resolve_jobs(0),
+              util::ThreadPool::hardware_jobs());
+    EXPECT_EQ(util::ThreadPool::resolve_jobs(1), 1);
+    EXPECT_EQ(util::ThreadPool::resolve_jobs(6), 6);
+}
+
+TEST(ScheduleIrTest, ReorderEditDistanceEmptyPlanIsZero)
+{
+    ExecutionPlan empty;
+    EXPECT_EQ(empty.reorder_edit_distance(), 0.0);
+    // Identity order: nothing moved.
+    ExecutionPlan identity;
+    identity.ops.resize(3);
+    identity.preload_order = {0, 1, 2};
+    EXPECT_EQ(identity.reorder_edit_distance(), 0.0);
+}
+
+class PipelineCompileTest : public ::testing::Test {
+  protected:
+    PipelineCompileTest()
+        : graph_(graph::build_decode_graph(testing::tiny_llm(), 8, 512)),
+          cfg_(testing::CompilerHarness::tiny().cfg)
+    {
+    }
+
+    std::string
+    compile_bits(Mode mode, int ctor_jobs, int opt_jobs)
+    {
+        Compiler comp(graph_, cfg_, nullptr, ctor_jobs);
+        CompileOptions opts;
+        opts.mode = mode;
+        opts.max_orders = 8;
+        opts.jobs = opt_jobs;
+        return comp.compile(opts).plan.serialize_bits();
+    }
+
+    graph::Graph graph_;
+    hw::ChipConfig cfg_;
+};
+
+TEST_F(PipelineCompileTest, ParallelMatchesSerialAllModes)
+{
+    for (Mode mode : {Mode::kBasic, Mode::kStatic, Mode::kElkDyn,
+                      Mode::kElkFull, Mode::kIdeal}) {
+        std::string serial = compile_bits(mode, 1, 0);
+        std::string parallel = compile_bits(mode, 4, 0);
+        EXPECT_EQ(serial, parallel) << mode_name(mode);
+        EXPECT_FALSE(serial.empty());
+    }
+}
+
+TEST_F(PipelineCompileTest, PerCompileJobsOverrideMatchesToo)
+{
+    // Serial construction, parallel compile() — the opts.jobs knob.
+    std::string serial = compile_bits(Mode::kElkFull, 1, 1);
+    std::string parallel = compile_bits(Mode::kElkFull, 1, 4);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(PipelineCompileTest, RepeatedCompilesAreIdentical)
+{
+    Compiler comp(graph_, cfg_);
+    CompileOptions opts;
+    opts.mode = Mode::kElkFull;
+    opts.max_orders = 8;
+    // The second compile reuses the cached tuning machine; the plan
+    // must not drift.
+    EXPECT_EQ(comp.compile(opts).plan.serialize_bits(),
+              comp.compile(opts).plan.serialize_bits());
+}
+
+TEST_F(PipelineCompileTest, SerializeBitsDistinguishesPlans)
+{
+    std::string basic = compile_bits(Mode::kBasic, 1, 0);
+    std::string dyn = compile_bits(Mode::kElkDyn, 1, 0);
+    EXPECT_NE(basic, dyn);
+}
+
+TEST_F(PipelineCompileTest, StatsSurviveThePipelineSplit)
+{
+    Compiler comp(graph_, cfg_);
+    CompileOptions opts;
+    opts.mode = Mode::kElkFull;
+    opts.max_orders = 8;
+    auto result = comp.compile(opts);
+    EXPECT_EQ(result.stats.n_ops, graph_.size());
+    EXPECT_GT(result.stats.max_plans, 0);
+    EXPECT_GT(result.stats.max_fit_window, 0);
+    EXPECT_GE(result.stats.orders_tested, 1);
+}
+
+// The acceptance check of the parallel pipeline: the quickstart model
+// (Llama2-13B decode, batch 32, seq 2048, IPU-POD4) compiled with
+// --jobs 8 and --jobs 1 must emit byte-identical ExecutionPlans.
+TEST(PipelineQuickstartTest, ParallelAndSerialPlansAreByteIdentical)
+{
+    auto graph = graph::build_decode_graph(graph::llama2_13b(), 32, 2048);
+    auto cfg = hw::ChipConfig::ipu_pod4();
+    CompileOptions opts;
+    opts.mode = Mode::kElkFull;
+
+    Compiler serial(graph, cfg, nullptr, 1);
+    opts.jobs = 1;
+    auto serial_plan = serial.compile(opts).plan;
+
+    Compiler parallel(graph, cfg, nullptr, 8);
+    opts.jobs = 8;
+    auto parallel_plan = parallel.compile(opts).plan;
+
+    EXPECT_EQ(serial_plan.serialize_bits(),
+              parallel_plan.serialize_bits());
+    EXPECT_EQ(serial_plan.mode, "Elk-Full");
+}
+
+}  // namespace
+}  // namespace elk::compiler

@@ -10,10 +10,12 @@
  *   elkc --graph my_model.egf --topology mesh --hbm-tbs 8
  *   elkc --model OPT-30B --dump-timing run.csv --timeline
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "elk/compiler.h"
@@ -24,6 +26,7 @@
 #include "runtime/metrics.h"
 #include "runtime/trace_export.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -46,7 +49,13 @@ usage(const char* argv0)
         "  --save-graph F    write the built graph as EGF and exit\n"
         "  --dump-timing F   write per-op phase timings as CSV\n"
         "  --timeline        print an ASCII schedule timeline\n"
-        "  --program         print the abstract device program head\n",
+        "  --program         print the abstract device program head\n"
+        "  --jobs N          compiler worker threads (1 serial, 0 = all\n"
+        "                    hardware threads; plans are bit-identical\n"
+        "                    at any setting)\n"
+        "  --passes P        'list' prints the pass pipeline for the\n"
+        "                    selected mode and exits; otherwise a\n"
+        "                    comma-separated subset of passes to run\n",
         argv0);
     std::exit(2);
 }
@@ -77,6 +86,8 @@ main(int argc, char** argv)
     std::string topology = "all-to-all";
     double hbm_tbs = 16.0;
     int chips = 4;
+    int jobs = 1;
+    std::string passes;
     bool show_timeline = false;
     bool show_program = false;
 
@@ -110,6 +121,10 @@ main(int argc, char** argv)
             save_graph_file = v;
         } else if (const char* v = arg("--dump-timing")) {
             dump_timing_file = v;
+        } else if (const char* v = arg("--jobs")) {
+            jobs = util::ThreadPool::parse_jobs_arg(v, "--jobs");
+        } else if (const char* v = arg("--passes")) {
+            passes = v;
         } else if (std::strcmp(argv[i], "--timeline") == 0) {
             show_timeline = true;
         } else if (std::strcmp(argv[i], "--program") == 0) {
@@ -148,9 +163,35 @@ main(int argc, char** argv)
 
     // --- compile & run ---
     compiler::Mode mode = parse_mode(mode_name);
-    compiler::Compiler comp(*model, chip);
     compiler::CompileOptions opts;
     opts.mode = mode;
+    if (passes == "list") {
+        // Dry-run: print the pipeline for this mode without building
+        // the plan library (which needs the full analysis).
+        auto pipeline = compiler::CompilerPipeline::standard();
+        compiler::CompileState probe;
+        probe.opts = opts;
+        auto enabled = pipeline.enabled_passes(probe);
+        std::printf("pass pipeline for mode %s:\n",
+                    compiler::mode_name(mode).c_str());
+        for (const auto& name : pipeline.pass_names()) {
+            bool on = std::find(enabled.begin(), enabled.end(), name) !=
+                      enabled.end();
+            std::printf("  %-22s %s\n", name.c_str(),
+                        on ? "run" : "skip (mode-gated)");
+        }
+        return 0;
+    }
+    if (!passes.empty()) {
+        std::stringstream ss(passes);
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+            if (!name.empty()) {
+                opts.pass_filter.push_back(name);
+            }
+        }
+    }
+    compiler::Compiler comp(*model, chip, nullptr, jobs);
     auto compiled = comp.compile(opts);
     sim::Machine machine(chip, mode == compiler::Mode::kIdeal);
     auto run = runtime::run_plan(machine, *model, compiled.plan,
@@ -161,8 +202,9 @@ main(int argc, char** argv)
     std::printf("target     : %d x %d cores, %s, %.1f TB/s HBM\n",
                 chip.num_chips, chip.cores_per_chip,
                 hw::topology_name(chip.topology).c_str(), hbm_tbs);
-    std::printf("design     : %s (compiled in %.2f s)\n",
-                compiled.plan.mode.c_str(), compiled.compile_seconds);
+    std::printf("design     : %s (compiled in %.2f s, %d jobs)\n",
+                compiled.plan.mode.c_str(), compiled.compile_seconds,
+                comp.jobs());
     std::printf("latency    : %s ms\n",
                 runtime::ms(run.total_time).c_str());
     std::printf("hbm util   : %s   noc util: %s\n",
