@@ -1,0 +1,152 @@
+/**
+ * @file
+ * bench_serving — latency-throughput curves for the event-driven
+ * serving runtime (the serving-scenario extension; not a paper
+ * figure).
+ *
+ * For every design mode the bench first measures closed-loop capacity
+ * (tokens/s with the queue never empty), then serves Poisson open-loop
+ * traces at fixed fractions of that capacity and reports tail latency,
+ * goodput, queue depth, and the steady-state preload time — which
+ * drops below the cold first iteration when weight residency kicks in.
+ *
+ * Replica cells of the (mode x load) grid are independent: they fan
+ * out over util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into
+ * per-cell slots and are printed by a serial scan, so stdout and the
+ * CSV are bit-identical at any job count (the per-report `digest`
+ * column makes a diff between --jobs runs conclusive).
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "elk/plan_cache.h"
+#include "elk/serving_compiler.h"
+#include "runtime/server.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace elk;
+
+/// FNV-1a hex digest of a report's exact bit serialization.
+std::string
+digest(const runtime::ServingReport& rep)
+{
+    std::string bits = rep.serialize_bits();
+    util::Fnv1a h;
+    h.mix(bits.data(), bits.size());
+    return h.hex();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const int n_jobs = bench::jobs(argc, argv);
+    const bool fast = bench::fast_mode();
+    const int requests = fast ? 24 : 96;
+    const int tokens = 4;
+    const int batch = fast ? 8 : 16;
+    const int seq = fast ? 512 : 2048;
+    const std::vector<double> loads =
+        fast ? std::vector<double>{0.5, 1.0}
+             : std::vector<double>{0.25, 0.5, 0.75, 1.0, 1.25};
+
+    graph::ModelConfig model = graph::llama2_13b();
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    auto modes = bench::all_designs();
+
+    int pool_threads = util::ThreadPool::resolve_jobs(n_jobs);
+    std::unique_ptr<util::ThreadPool> pool;
+    if (pool_threads > 1) {
+        pool = std::make_unique<util::ThreadPool>(pool_threads);
+    }
+
+    // One plan cache plus one serving compiler per mode, shared by
+    // every cell of that mode's row (both are thread-safe).
+    compiler::PlanCache cache;
+    std::vector<std::unique_ptr<compiler::ServingCompiler>> compilers;
+    for (auto mode : modes) {
+        compiler::CompileOptions copts;
+        copts.mode = mode;
+        copts.max_orders = fast ? 6 : 24;
+        compilers.push_back(std::make_unique<compiler::ServingCompiler>(
+            model, seq, chip, copts, &cache));
+    }
+    runtime::ServerOptions sopts;
+    sopts.max_batch = batch;
+    sopts.tokens_per_request = tokens;
+
+    auto serve = [&](int m, const std::vector<double>& arrivals) {
+        runtime::Server server(compilers[m]->machine(), sopts);
+        return server.serve(
+            arrivals, [&](int b) { return compilers[m]->program(b); });
+    };
+
+    // Phase 1: closed-loop capacity per mode (parallel over modes).
+    std::vector<runtime::ServingReport> closed(modes.size());
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(modes.size()), [&](int m) {
+            closed[m] =
+                serve(m, runtime::ArrivalTrace::closed_loop(requests));
+        });
+
+    // Phase 2: the (mode x load) grid, rates derived from capacity.
+    struct Cell {
+        int mode;
+        double load;
+        runtime::ServingReport rep;
+    };
+    std::vector<Cell> cells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (double load : loads) {
+            cells.push_back({static_cast<int>(m), load, {}});
+        }
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(cells.size()), [&](int c) {
+            double rate =
+                cells[c].load * closed[cells[c].mode].tokens_per_s /
+                tokens;
+            cells[c].rep = serve(
+                cells[c].mode,
+                runtime::ArrivalTrace::poisson(requests, rate,
+                                               /*seed=*/7));
+        });
+
+    // Serial merge/print in fixed grid order.
+    util::Table table({"design", "load", "rate(req/s)", "p50(ms)",
+                       "p95(ms)", "p99(ms)", "tokens/s", "queue",
+                       "pre_first(ms)", "pre_steady(ms)", "digest"});
+    for (size_t m = 0; m < modes.size(); ++m) {
+        table.add(compilers[m]->mode(), "closed", "-",
+                  runtime::ms(closed[m].p50_latency),
+                  runtime::ms(closed[m].p95_latency),
+                  runtime::ms(closed[m].p99_latency),
+                  closed[m].tokens_per_s, closed[m].mean_queue_depth,
+                  runtime::ms(closed[m].first_decode_preload),
+                  runtime::ms(closed[m].steady_decode_preload),
+                  digest(closed[m]));
+    }
+    for (const Cell& cell : cells) {
+        double rate =
+            cell.load * closed[cell.mode].tokens_per_s / tokens;
+        table.add(compilers[cell.mode]->mode(), cell.load, rate,
+                  runtime::ms(cell.rep.p50_latency),
+                  runtime::ms(cell.rep.p95_latency),
+                  runtime::ms(cell.rep.p99_latency),
+                  cell.rep.tokens_per_s, cell.rep.mean_queue_depth,
+                  runtime::ms(cell.rep.first_decode_preload),
+                  runtime::ms(cell.rep.steady_decode_preload),
+                  digest(cell.rep));
+    }
+    table.print("serving latency-throughput per design (" +
+                model.name + ", batch " + std::to_string(batch) +
+                ", " + std::to_string(requests) + " reqs x " +
+                std::to_string(tokens) + " tok)");
+    table.write_csv("serving");
+    return 0;
+}

@@ -7,19 +7,23 @@
  *   $ ./design_space_exploration [target_latency_ms]
  */
 #include <cstdio>
-#include <cstdlib>
 
 #include "elk/compiler.h"
 #include "graph/model_builder.h"
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace elk;
-    double target_ms = argc > 1 ? std::atof(argv[1]) : 8.0;
+    double target_ms =
+        argc > 1
+            ? util::parse_double_arg(argv[1], "target_latency_ms",
+                                     1e-3, 1e6)
+            : 8.0;
 
     graph::Graph model =
         graph::build_decode_graph(graph::llama2_13b(), 32, 2048);

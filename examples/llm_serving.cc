@@ -1,20 +1,26 @@
 /**
  * @file
- * LLM serving scenario: compare all five designs (Basic, Static,
- * Elk-Dyn, Elk-Full, Ideal) on decoding latency for a chosen model,
- * like the paper's Fig. 17 but for a single configuration you can
- * play with from the command line:
+ * LLM serving scenario: drive the event-driven serving runtime with an
+ * arrival trace and compare all five designs (Basic, Static, Elk-Dyn,
+ * Elk-Full, Ideal) on tail latency and goodput. Decode iterations run
+ * back to back on one resumable engine state, so steady-state steps
+ * reuse weights left resident in SRAM instead of re-preloading them.
  *
- *   $ ./llm_serving [model] [batch] [seq]
- *   $ ./llm_serving Llama2-70B 64 4096
+ *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens]
+ *   $ ./llm_serving Llama2-13B 32 2048 64 0 4
+ *
+ * rate 0 (default) = closed loop (every request queued at t = 0);
+ * rate > 0 = Poisson open loop at that many requests/s.
  */
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
-#include "elk/compiler.h"
+#include "elk/plan_cache.h"
+#include "elk/serving_compiler.h"
 #include "graph/model_builder.h"
-#include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "runtime/server.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 int
@@ -22,42 +28,68 @@ main(int argc, char** argv)
 {
     using namespace elk;
     std::string name = argc > 1 ? argv[1] : "Llama2-13B";
-    int batch = argc > 2 ? std::atoi(argv[2]) : 32;
-    int seq = argc > 3 ? std::atoi(argv[3]) : 2048;
+    int batch = argc > 2
+                    ? util::parse_int_arg(argv[2], "batch", 1, 4096)
+                    : 32;
+    int seq = argc > 3 ? util::parse_int_arg(argv[3], "seq", 1, 1 << 20)
+                       : 2048;
+    int requests =
+        argc > 4 ? util::parse_int_arg(argv[4], "requests", 1, 1 << 20)
+                 : 64;
+    double rate =
+        argc > 5 ? util::parse_double_arg(argv[5], "rate", 0.0, 1e9)
+                 : 0.0;
+    int tokens = argc > 6
+                     ? util::parse_int_arg(argv[6], "tokens", 1, 1 << 20)
+                     : 4;
 
     hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
-    graph::Graph model =
-        graph::build_decode_graph(graph::model_by_name(name), batch, seq);
+    graph::ModelConfig model = graph::model_by_name(name);
+    std::vector<double> arrivals =
+        rate > 0 ? runtime::ArrivalTrace::poisson(requests, rate,
+                                                  /*seed=*/42)
+                 : runtime::ArrivalTrace::closed_loop(requests);
     std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
-                "HBM\n\n",
+                "HBM\n",
                 name.c_str(), batch, seq, chip.total_cores(),
                 chip.hbm_total_bw / 1e12);
+    if (rate > 0) {
+        std::printf("%d requests x %d tokens, Poisson @ %g req/s\n\n",
+                    requests, tokens, rate);
+    } else {
+        std::printf("%d requests x %d tokens, closed loop\n\n",
+                    requests, tokens);
+    }
 
-    compiler::Compiler compiler(model, chip);
-    util::Table table({"design", "latency(ms)", "tokens/s", "hbm_util",
-                       "noc_util", "TFLOPS", "noc_stall(ms)"});
+    compiler::PlanCache cache;
+    util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
+                       "tokens/s", "hbm_util", "queue",
+                       "preload first(ms)", "steady(ms)"});
 
-    sim::SimResult ideal;
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
           compiler::Mode::kElkDyn, compiler::Mode::kElkFull,
           compiler::Mode::kIdeal}) {
-        compiler::CompileOptions opts;
-        opts.mode = mode;
-        auto compiled = compiler.compile(opts);
-        sim::Machine machine(chip, mode == compiler::Mode::kIdeal);
-        auto run = runtime::run_plan(machine, model, compiled.plan,
-                                     compiler.context());
-        if (mode == compiler::Mode::kIdeal) {
-            ideal = run;
-        }
-        table.add(compiler::mode_name(mode),
-                  runtime::ms(run.total_time),
-                  static_cast<double>(batch) / run.total_time,
-                  runtime::pct(run.hbm_util),
-                  runtime::pct(run.noc_util), run.achieved_tflops,
-                  runtime::ms(run.interconnect_stall));
+        compiler::CompileOptions copts;
+        copts.mode = mode;
+        compiler::ServingCompiler sc(model, seq, chip, copts, &cache);
+        runtime::ServerOptions sopts;
+        sopts.max_batch = batch;
+        sopts.tokens_per_request = tokens;
+        runtime::Server server(sc.machine(), sopts);
+        runtime::ServingReport rep = server.serve(
+            arrivals, [&](int b) { return sc.program(b); });
+        table.add(sc.mode(), runtime::ms(rep.p50_latency),
+                  runtime::ms(rep.p95_latency),
+                  runtime::ms(rep.p99_latency), rep.tokens_per_s,
+                  runtime::pct(rep.hbm_util), rep.mean_queue_depth,
+                  runtime::ms(rep.first_decode_preload),
+                  runtime::ms(rep.steady_decode_preload));
     }
-    table.print("decode latency per design");
+    table.print("serving tail latency / goodput per design");
+    auto stats = cache.stats();
+    std::printf("\nplan cache: %d entries, %lld hits, %lld misses\n",
+                stats.entries, static_cast<long long>(stats.hits),
+                static_cast<long long>(stats.misses));
     return 0;
 }

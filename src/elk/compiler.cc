@@ -1,7 +1,9 @@
 #include "elk/compiler.h"
 
 #include <chrono>
+#include <optional>
 
+#include "elk/plan_cache.h"
 #include "util/logging.h"
 
 namespace elk::compiler {
@@ -49,6 +51,22 @@ Compiler::compile(const CompileOptions& opts) const
         state.tuning_machine = cached_machine_;
     }
 
+    // Plan-cache consult: on a hit the cached plan becomes the state's
+    // product and every scheduling pass disables itself (the
+    // cached_plan hook), leaving only the cheap analysis/finalize
+    // stages to run below.
+    std::optional<PlanKey> cache_key;
+    std::shared_ptr<const CompileResult> cache_hit;
+    if (plan_cache_ != nullptr) {
+        cache_key = make_plan_key(*state_.graph, *state_.cfg, opts);
+        cache_hit = plan_cache_->lookup(*cache_key);
+        if (cache_hit) {
+            state.cached_plan = std::shared_ptr<const ExecutionPlan>(
+                cache_hit, &cache_hit->plan);
+            state.plan = cache_hit->plan;
+        }
+    }
+
     // Per-compile job override: 0 inherits the construction pool.
     std::unique_ptr<util::ThreadPool> local_pool;
     if (opts.jobs != 0) {
@@ -77,7 +95,18 @@ Compiler::compile(const CompileOptions& opts) const
 
     CompileResult result;
     result.plan = std::move(*state.plan);
-    result.stats = state.stats;
+    if (cache_hit) {
+        // Search statistics describe the original search, not the
+        // (skipped) cached compile.
+        result.stats = cache_hit->stats;
+        result.from_cache = true;
+    } else {
+        result.stats = state.stats;
+        if (cache_key) {
+            plan_cache_->insert(
+                *cache_key, std::make_shared<CompileResult>(result));
+        }
+    }
     auto t1 = std::chrono::steady_clock::now();
     result.compile_seconds =
         std::chrono::duration<double>(t1 - t0).count();

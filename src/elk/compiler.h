@@ -31,11 +31,16 @@
 
 namespace elk::compiler {
 
+class PlanCache;
+
 /// Result of one compilation.
 struct CompileResult {
     ExecutionPlan plan;
     SearchStats stats;
     double compile_seconds = 0.0;
+    /// True when the plan came from the PlanCache (the scheduling
+    /// passes were skipped via the CompileState::cached_plan hook).
+    bool from_cache = false;
 };
 
 /// The compiler; one instance per (graph, chip) pair.
@@ -55,8 +60,17 @@ class Compiler {
              int jobs = 1);
 
     /// Compiles an execution plan for the requested design by running
-    /// the scheduling passes of the pipeline.
+    /// the scheduling passes of the pipeline. With a plan cache
+    /// attached, a hit skips them (CompileState::cached_plan hook)
+    /// and a miss stores the freshly compiled result.
     CompileResult compile(const CompileOptions& opts = {}) const;
+
+    /**
+     * Attaches a compiled-plan cache (thread-safe, shared across
+     * compilers and threads; the serving runtime's amortization
+     * point). @p cache must outlive the compiler; nullptr detaches.
+     */
+    void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
 
     /// Plan library (Table 2 statistics, tests).
     const PlanLibrary& library() const { return *state_.library; }
@@ -83,6 +97,7 @@ class Compiler {
     /// are safe (the rest of compile() works on a private state copy).
     mutable std::mutex machine_mu_;
     mutable std::shared_ptr<const sim::Machine> cached_machine_;
+    PlanCache* plan_cache_ = nullptr;  ///< non-owning, optional.
 };
 
 }  // namespace elk::compiler

@@ -161,7 +161,7 @@ class BasicSchedulePass : public Pass {
     bool
     enabled(const CompileState& state) const override
     {
-        return state.opts.mode == Mode::kBasic;
+        return state.opts.mode == Mode::kBasic && !state.cached_plan;
     }
 
     void
@@ -341,7 +341,7 @@ class StaticSchedulePass : public Pass {
     bool
     enabled(const CompileState& state) const override
     {
-        return state.opts.mode == Mode::kStatic;
+        return state.opts.mode == Mode::kStatic && !state.cached_plan;
     }
 
     void
@@ -361,8 +361,9 @@ class ElkSchedulePass : public Pass {
     bool
     enabled(const CompileState& state) const override
     {
-        return state.opts.mode == Mode::kElkDyn ||
-               state.opts.mode == Mode::kElkFull;
+        return (state.opts.mode == Mode::kElkDyn ||
+                state.opts.mode == Mode::kElkFull) &&
+               !state.cached_plan;
     }
 
     void
@@ -452,7 +453,7 @@ class PreloadOrderSearchPass : public Pass {
     bool
     enabled(const CompileState& state) const override
     {
-        return state.opts.mode == Mode::kElkFull;
+        return state.opts.mode == Mode::kElkFull && !state.cached_plan;
     }
 
     void
@@ -537,7 +538,7 @@ class IdealSchedulePass : public Pass {
     bool
     enabled(const CompileState& state) const override
     {
-        return state.opts.mode == Mode::kIdeal;
+        return state.opts.mode == Mode::kIdeal && !state.cached_plan;
     }
 
     void

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/bits.h"
 #include "util/logging.h"
 
 namespace elk::compiler {
@@ -31,14 +32,7 @@ ExecutionPlan::reorder_edit_distance() const
 
 namespace {
 
-template <typename T>
-void
-append_bits(std::string& out, const T& value)
-{
-    char buf[sizeof(T)];
-    std::memcpy(buf, &value, sizeof(T));
-    out.append(buf, sizeof(T));
-}
+using util::append_bits;
 
 void
 append_exec_bits(std::string& out, const plan::ExecPlan& p)

@@ -1,0 +1,59 @@
+#include "elk/serving_compiler.h"
+
+#include <utility>
+
+#include "graph/model_builder.h"
+#include "runtime/executor.h"
+#include "util/logging.h"
+
+namespace elk::compiler {
+
+ServingCompiler::ServingCompiler(graph::ModelConfig model, int seq,
+                                 const hw::ChipConfig& cfg,
+                                 CompileOptions opts, PlanCache* cache,
+                                 int jobs)
+    : model_(std::move(model)),
+      seq_(seq),
+      cfg_(cfg),
+      opts_(std::move(opts)),
+      cache_(cache),
+      jobs_(jobs),
+      machine_(cfg_, opts_.mode == Mode::kIdeal)
+{
+    util::check(seq_ >= 1, "ServingCompiler: seq must be >= 1");
+}
+
+std::shared_ptr<const sim::SimProgram>
+ServingCompiler::program(int batch)
+{
+    util::check(batch >= 1, "ServingCompiler: batch must be >= 1");
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(batch);
+    if (it != entries_.end()) {
+        return it->second.program;
+    }
+
+    Entry entry;
+    entry.graph = std::make_unique<graph::Graph>(
+        graph::build_decode_graph(model_, batch, seq_));
+    entry.compiler = std::make_unique<Compiler>(*entry.graph, cfg_,
+                                                nullptr, jobs_);
+    entry.compiler->set_plan_cache(cache_);
+    CompileResult compiled = entry.compiler->compile(opts_);
+    compile_seconds_ += compiled.compile_seconds;
+    entry.program = std::make_shared<sim::SimProgram>(
+        runtime::lower_to_sim(*entry.graph, compiled.plan,
+                              entry.compiler->context()));
+    auto program = entry.program;
+    entries_.emplace(batch, std::move(entry));
+    return program;
+}
+
+double
+ServingCompiler::compile_seconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return compile_seconds_;
+}
+
+}  // namespace elk::compiler

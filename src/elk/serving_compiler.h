@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ServingCompiler: the compile side of the serving stack.
+ *
+ * The Server asks for "the program for batch bucket b" once per decode
+ * iteration; this facade memoizes the whole chain behind that call —
+ * decode graph construction, Compiler analysis, the (PlanCache-backed)
+ * compile, and lowering to the simulator program — per batch size.
+ * Returning the same SimProgram object for a repeated bucket is what
+ * lets the engine keep weights resident across iterations.
+ *
+ * Thread-safe: replica sweeps share one instance (and its PlanCache)
+ * across worker threads; compiles are serialized by an internal lock
+ * so each bucket is compiled exactly once.
+ */
+#ifndef ELK_ELK_SERVING_COMPILER_H
+#define ELK_ELK_SERVING_COMPILER_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "elk/compiler.h"
+#include "elk/plan_cache.h"
+#include "graph/model_config.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace elk::compiler {
+
+class ServingCompiler {
+  public:
+    /**
+     * @p cache may be nullptr (no cross-instance amortization) and
+     * must outlive the serving compiler otherwise. @p jobs is the
+     * compiler worker-thread knob; plans are bit-identical at any
+     * setting.
+     */
+    ServingCompiler(graph::ModelConfig model, int seq,
+                    const hw::ChipConfig& cfg, CompileOptions opts,
+                    PlanCache* cache, int jobs = 1);
+
+    /// Compiled decode program for @p batch (memoized).
+    std::shared_ptr<const sim::SimProgram> program(int batch);
+
+    /// The machine serving runs on (split fabric for Ideal mode).
+    const sim::Machine& machine() const { return machine_; }
+
+    /// Accumulated wall-clock compile seconds across buckets.
+    double compile_seconds() const;
+
+    /// Design-mode name of the compiled plans.
+    std::string mode() const { return mode_name(opts_.mode); }
+
+  private:
+    struct Entry {
+        std::unique_ptr<graph::Graph> graph;
+        std::unique_ptr<Compiler> compiler;
+        std::shared_ptr<const sim::SimProgram> program;
+    };
+
+    graph::ModelConfig model_;
+    int seq_;
+    hw::ChipConfig cfg_;
+    CompileOptions opts_;
+    PlanCache* cache_;
+    int jobs_;
+    sim::Machine machine_;
+    mutable std::mutex mu_;
+    std::map<int, Entry> entries_;
+    double compile_seconds_ = 0.0;
+};
+
+}  // namespace elk::compiler
+
+#endif  // ELK_ELK_SERVING_COMPILER_H

@@ -1,0 +1,266 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <random>
+#include <sstream>
+
+#include "runtime/metrics.h"
+#include "util/bits.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace elk::runtime {
+
+using util::append_bits;
+
+namespace {
+
+/// Smallest bucket covering @p need; the largest one when none does.
+int
+pick_bucket(const std::vector<int>& buckets, int need)
+{
+    for (int b : buckets) {
+        if (b >= need) {
+            return b;
+        }
+    }
+    return buckets.back();
+}
+
+}  // namespace
+
+std::vector<double>
+ArrivalTrace::closed_loop(int n)
+{
+    util::check(n >= 0, "ArrivalTrace: negative request count");
+    return std::vector<double>(n, 0.0);
+}
+
+std::vector<double>
+ArrivalTrace::poisson(int n, double rate_per_s, uint64_t seed)
+{
+    util::check(n >= 0, "ArrivalTrace: negative request count");
+    util::check(rate_per_s > 0, "ArrivalTrace: rate must be positive");
+    // mt19937_64's raw output is fully specified by the standard;
+    // std::exponential_distribution is not. Inverse-CDF by hand keeps
+    // the trace bit-identical across standard libraries.
+    std::mt19937_64 rng(seed);
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double u =
+            static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+        t += -std::log1p(-u) / rate_per_s;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+std::string
+ServingReport::summary() const
+{
+    std::ostringstream out;
+    out << "served " << requests << " requests / " << tokens
+        << " tokens in " << iterations << " iterations, makespan "
+        << ms(makespan) << " ms\n"
+        << "  latency ms   : p50 " << ms(p50_latency) << "  p95 "
+        << ms(p95_latency) << "  p99 " << ms(p99_latency) << "  max "
+        << ms(max_latency) << "\n"
+        << "  goodput      : " << tokens_per_s << " tokens/s\n"
+        << "  queue depth  : mean " << mean_queue_depth << ", peak "
+        << peak_queue_depth << "\n"
+        << "  utilization  : hbm " << pct(hbm_util) << ", noc "
+        << pct(noc_util) << "\n"
+        << "  decode preload ms: first " << ms(first_decode_preload)
+        << ", steady " << ms(steady_decode_preload) << " ("
+        << resident_bytes / 1024 << " KB/core resident, "
+        << preloads_skipped << " preloads skipped)";
+    return out.str();
+}
+
+std::string
+ServingReport::serialize_bits() const
+{
+    std::string out;
+    out.reserve(160);
+    append_bits(out, requests);
+    append_bits(out, iterations);
+    append_bits(out, tokens);
+    append_bits(out, makespan);
+    append_bits(out, mean_latency);
+    append_bits(out, p50_latency);
+    append_bits(out, p95_latency);
+    append_bits(out, p99_latency);
+    append_bits(out, max_latency);
+    append_bits(out, tokens_per_s);
+    append_bits(out, mean_queue_depth);
+    append_bits(out, peak_queue_depth);
+    append_bits(out, hbm_util);
+    append_bits(out, noc_util);
+    append_bits(out, peak_sram_per_core);
+    append_bits(out, static_cast<uint8_t>(memory_exceeded ? 1 : 0));
+    append_bits(out, first_decode_preload);
+    append_bits(out, steady_decode_preload);
+    append_bits(out, resident_bytes);
+    append_bits(out, preloads_skipped);
+    return out;
+}
+
+Server::Server(const sim::Machine& machine, ServerOptions opts)
+    : machine_(machine), opts_(std::move(opts))
+{
+    util::check(opts_.max_batch >= 1, "Server: max_batch must be >= 1");
+    util::check(opts_.tokens_per_request >= 1,
+                "Server: tokens_per_request must be >= 1");
+    if (opts_.batch_buckets.empty()) {
+        for (int b = 1; b < opts_.max_batch; b *= 2) {
+            opts_.batch_buckets.push_back(b);
+        }
+        opts_.batch_buckets.push_back(opts_.max_batch);
+    }
+    std::sort(opts_.batch_buckets.begin(), opts_.batch_buckets.end());
+    util::check(opts_.batch_buckets.front() >= 1,
+                "Server: batch buckets must be positive");
+    util::check(opts_.batch_buckets.back() == opts_.max_batch,
+                "Server: largest batch bucket must equal max_batch");
+}
+
+ServingReport
+Server::serve(const std::vector<double>& arrivals,
+              const ProgramSource& programs) const
+{
+    const int n = static_cast<int>(arrivals.size());
+    for (int i = 0; i < n; ++i) {
+        util::check(arrivals[i] >= 0 &&
+                        (i == 0 || arrivals[i] >= arrivals[i - 1]),
+                    "Server: arrivals must be sorted and non-negative");
+    }
+
+    // The first iteration runs cold (no retention) and measures the
+    // working-set peak; the residency budget is then the leftover
+    // SRAM slack, so retained weights never contend with the working
+    // set and survive whole decode cycles.
+    sim::EngineState state(machine_, sim::EngineState::Options{});
+
+    struct Active {
+        int req = -1;
+        int tokens_left = 0;
+    };
+    std::vector<Active> running;
+    std::deque<int> waiting;
+    int next_arrival = 0;
+    int completed = 0;
+    std::vector<double> latencies(n, 0.0);
+
+    ServingReport rep;
+    rep.requests = n;
+    util::WeightedMean depth_mean;
+    util::WeightedMean hbm_mean;
+    util::WeightedMean noc_mean;
+    double steady_preload_sum = 0.0;
+    int steady_iterations = 0;
+    double now = 0.0;
+
+    while (completed < n) {
+        // Arrivals up to the current clock join the queue.
+        while (next_arrival < n && arrivals[next_arrival] <= now) {
+            waiting.push_back(next_arrival++);
+        }
+        if (running.empty() && waiting.empty()) {
+            // Idle: wait for the next arrival (queue depth is zero).
+            double t_next = arrivals[next_arrival];
+            if (t_next > now) {
+                depth_mean.add(t_next - now, 0.0);
+                state.run_to(t_next);
+                now = t_next;
+            }
+            continue;
+        }
+
+        // Iteration-level batching: waiting requests claim free batch
+        // slots at the iteration boundary.
+        while (!waiting.empty() &&
+               static_cast<int>(running.size()) < opts_.max_batch) {
+            running.push_back(
+                {waiting.front(), opts_.tokens_per_request});
+            waiting.pop_front();
+        }
+        rep.peak_queue_depth = std::max(
+            rep.peak_queue_depth, static_cast<int>(waiting.size()));
+
+        int bucket = pick_bucket(opts_.batch_buckets,
+                                 static_cast<int>(running.size()));
+        std::shared_ptr<const sim::SimProgram> program = programs(bucket);
+        util::check(program != nullptr,
+                    "Server: ProgramSource returned no program");
+
+        // One decode iteration for the whole running batch.
+        double start = now;
+        state.begin(*program);
+        while (state.step()) {
+        }
+        sim::SimResult r = state.finish();
+        now = state.now();
+        double duration = now - start;
+
+        ++rep.iterations;
+        if (rep.iterations == 1) {
+            rep.first_decode_preload = r.preload_only;
+            if (opts_.keep_resident) {
+                uint64_t usable =
+                    machine_.config().usable_sram_per_core();
+                state.set_residency_budget(
+                    usable > r.peak_sram_per_core
+                        ? usable - r.peak_sram_per_core
+                        : 0);
+            }
+        } else {
+            steady_preload_sum += r.preload_only;
+            ++steady_iterations;
+        }
+        hbm_mean.add(duration, r.hbm_util);
+        noc_mean.add(duration, r.noc_util);
+        depth_mean.add(duration, static_cast<double>(waiting.size()));
+        rep.peak_sram_per_core =
+            std::max(rep.peak_sram_per_core, r.peak_sram_per_core);
+        rep.memory_exceeded |= r.memory_exceeded;
+        rep.tokens += static_cast<int64_t>(running.size());
+
+        // Every running request produced one token this iteration.
+        for (auto it = running.begin(); it != running.end();) {
+            if (--it->tokens_left == 0) {
+                latencies[it->req] = now - arrivals[it->req];
+                ++completed;
+                it = running.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    rep.makespan = now;
+    rep.tokens_per_s = now > 0 ? static_cast<double>(rep.tokens) / now
+                               : 0.0;
+    rep.mean_queue_depth = depth_mean.value();
+    rep.hbm_util = hbm_mean.value();
+    rep.noc_util = noc_mean.value();
+    rep.steady_decode_preload =
+        steady_iterations > 0 ? steady_preload_sum / steady_iterations
+                              : rep.first_decode_preload;
+    if (n > 0) {
+        rep.mean_latency = util::mean(latencies);
+        rep.p50_latency = util::percentile(latencies, 50.0);
+        rep.p95_latency = util::percentile(latencies, 95.0);
+        rep.p99_latency = util::percentile(latencies, 99.0);
+        rep.max_latency =
+            *std::max_element(latencies.begin(), latencies.end());
+    }
+    rep.resident_bytes = state.resident_bytes();
+    rep.preloads_skipped = state.resident_hits();
+    return rep;
+}
+
+}  // namespace elk::runtime

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The serving runtime: a request queue on top of the resumable
+ * simulator engine.
+ *
+ * A Server turns the one-shot "compile a decode step, simulate it"
+ * flow into continuous serving: requests arrive on a trace (closed
+ * loop or Poisson open loop), are admitted into decode iterations with
+ * iteration-level batching (a request joins the running batch at the
+ * next iteration boundary, occupies one slot for one token per
+ * iteration, and leaves when its tokens are done), and every iteration
+ * executes a compiled SimProgram on one persistent EngineState — so
+ * weights kept resident across back-to-back iterations skip their HBM
+ * preload, the steady-state decode fast path.
+ *
+ * The ServingReport aggregates the paper-style serving metrics: tail
+ * latency percentiles, tokens/s goodput, queue depth, and
+ * time-weighted HBM/NoC utilization. Everything is deterministic:
+ * serving the same trace with the same programs is bit-identical at
+ * any compiler --jobs setting (serialize_bits is the proof hook).
+ */
+#ifndef ELK_RUNTIME_SERVER_H
+#define ELK_RUNTIME_SERVER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace elk::runtime {
+
+/// Arrival-time generators for serving experiments (seconds, sorted).
+struct ArrivalTrace {
+    /// Closed loop: all @p n requests queued at t = 0.
+    static std::vector<double> closed_loop(int n);
+
+    /**
+     * Open loop: @p n Poisson arrivals at @p rate_per_s requests/s.
+     * Gaps are drawn from a hand-rolled xorshift-free mt19937_64 +
+     * inverse-CDF exponential, so the trace is bit-identical for one
+     * @p seed on every platform and standard library.
+     */
+    static std::vector<double> poisson(int n, double rate_per_s,
+                                       uint64_t seed);
+};
+
+/// Serving knobs.
+struct ServerOptions {
+    /// Largest decode batch one iteration can run (slot count).
+    int max_batch = 32;
+    /// Decode tokens each request needs before it completes.
+    int tokens_per_request = 1;
+    /// Batch sizes the plan cache holds compiled programs for; the
+    /// server picks the smallest bucket covering the running batch.
+    /// Empty = powers of two up to max_batch.
+    std::vector<int> batch_buckets;
+    /// Keep operator weights resident in SRAM across iterations
+    /// (evicted oldest-first under pressure); off = every iteration
+    /// re-preloads from HBM like a one-shot run.
+    bool keep_resident = true;
+};
+
+/// Aggregate serving metrics for one trace (paper-style tail report).
+struct ServingReport {
+    int requests = 0;
+    int iterations = 0;
+    int64_t tokens = 0;
+    double makespan = 0.0;  ///< clock when the last request completed.
+
+    // --- request latency (arrival -> last token), seconds ---
+    double mean_latency = 0.0;
+    double p50_latency = 0.0;
+    double p95_latency = 0.0;
+    double p99_latency = 0.0;
+    double max_latency = 0.0;
+
+    /// Completed tokens per second of makespan (goodput; padded batch
+    /// slots do not count).
+    double tokens_per_s = 0.0;
+
+    // --- queue (waiting requests, excl. the running batch) ---
+    double mean_queue_depth = 0.0;  ///< time-weighted.
+    int peak_queue_depth = 0;
+
+    // --- resources (time-weighted over busy iterations) ---
+    double hbm_util = 0.0;
+    double noc_util = 0.0;
+    uint64_t peak_sram_per_core = 0;
+    bool memory_exceeded = false;
+
+    // --- residency effect ---
+    /// preload_only seconds of the first decode iteration (cold).
+    double first_decode_preload = 0.0;
+    /// Mean preload_only seconds of the remaining iterations (warm).
+    double steady_decode_preload = 0.0;
+    /// Weights resident per core when serving finished.
+    uint64_t resident_bytes = 0;
+    /// Preloads satisfied from resident weights (no HBM traffic).
+    int64_t preloads_skipped = 0;
+
+    /// Multi-line human summary.
+    std::string summary() const;
+
+    /// Byte-exact serialization of every metric (IEEE bit patterns);
+    /// equal strings iff the reports are bit-identical — the --jobs
+    /// determinism check.
+    std::string serialize_bits() const;
+};
+
+/**
+ * The serving loop. The server owns no compiler: a ProgramSource maps
+ * a batch bucket to its compiled+lowered program (see
+ * compiler::ServingCompiler), so the same loop serves any frontend.
+ */
+class Server {
+  public:
+    /// Compiled program for one batch bucket; must stay valid for the
+    /// duration of serve(). Returning the same object for repeated
+    /// buckets is what enables cross-iteration weight residency.
+    using ProgramSource =
+        std::function<std::shared_ptr<const sim::SimProgram>(int batch)>;
+
+    Server(const sim::Machine& machine, ServerOptions opts);
+
+    /// Serves @p arrivals (sorted seconds) to completion.
+    ServingReport serve(const std::vector<double>& arrivals,
+                        const ProgramSource& programs) const;
+
+    const ServerOptions& options() const { return opts_; }
+
+  private:
+    const sim::Machine& machine_;
+    ServerOptions opts_;
+};
+
+}  // namespace elk::runtime
+
+#endif  // ELK_RUNTIME_SERVER_H

@@ -12,9 +12,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Execution-side phase of the engine's state machine.
-enum class ExecPhase { kWaitPreload, kDistribute, kExecute, kDone };
-
 }  // namespace
 
 void
@@ -31,6 +28,7 @@ SimProgram::finalize_default_order()
 void
 SimProgram::validate() const
 {
+    const int n = static_cast<int>(ops.size());
     util::check(preload_order.size() == ops.size(),
                 "SimProgram: preload order size mismatch");
     util::check(issue_slot.size() == preload_order.size(),
@@ -38,11 +36,13 @@ SimProgram::validate() const
     std::vector<bool> seen(ops.size(), false);
     for (size_t r = 0; r < preload_order.size(); ++r) {
         int op = preload_order[r];
-        util::check(op >= 0 && op < static_cast<int>(ops.size()),
+        util::check(op >= 0 && op < n,
                     "SimProgram: bad preload order entry");
         util::check(!seen[op], "SimProgram: duplicate preload entry");
         seen[op] = true;
-        util::check(issue_slot[r] >= 0 && issue_slot[r] <= op,
+        util::check(issue_slot[r] >= 0 && issue_slot[r] <= n,
+                    "SimProgram: issue slot past program end");
+        util::check(issue_slot[r] <= op,
                     "SimProgram: preload issued after own execute");
         if (r > 0) {
             util::check(issue_slot[r] >= issue_slot[r - 1],
@@ -51,277 +51,464 @@ SimProgram::validate() const
     }
 }
 
-SimResult
-Engine::run(const SimProgram& program) const
+// ---------------------------------------------------------------------------
+// EngineState
+
+EngineState::EngineState(const Machine& machine)
+    : EngineState(machine, Options())
 {
+}
+
+EngineState::EngineState(const Machine& machine, Options opts)
+    : machine_(machine), opts_(opts)
+{
+}
+
+bool
+EngineState::exec_active() const
+{
+    return phase_ == ExecPhase::kDistribute || phase_ == ExecPhase::kExecute;
+}
+
+bool
+EngineState::program_complete() const
+{
+    return phase_ == ExecPhase::kDone &&
+           pre_r_ >= static_cast<int>(program_->preload_order.size()) &&
+           !preload_active();
+}
+
+bool
+EngineState::done() const
+{
+    return program_ == nullptr || complete_;
+}
+
+void
+EngineState::begin(const SimProgram& program)
+{
+    util::check(done(), "EngineState: begin() while a program is running");
     program.validate();
+    program_ = &program;
+    const int n = static_cast<int>(program.ops.size());
+
+    // Evict resident entries the new program cannot consume: either
+    // the operator is gone or it was compiled to a different preload
+    // footprint / HBM volume (e.g. a different batch bucket's plan).
+    if (!resident_.empty()) {
+        std::map<int, int> by_id;  // op_id -> exec index
+        for (int i = 0; i < n; ++i) {
+            by_id.emplace(program.ops[i].op_id, i);
+        }
+        for (auto it = resident_.begin(); it != resident_.end();) {
+            auto hit = by_id.find(it->first);
+            bool match =
+                hit != by_id.end() &&
+                program.ops[hit->second].preload_space == it->second.space &&
+                program.ops[hit->second].dram_bytes == it->second.dram_bytes;
+            if (match) {
+                ++it;
+            } else {
+                occupancy_ -= static_cast<double>(it->second.space);
+                resident_bytes_ -= it->second.space;
+                it = resident_.erase(it);
+            }
+        }
+    }
+
+    net_.emplace(machine_.capacities());
+    result_ = SimResult{};
+    result_.timing.assign(n, {});
+    for (int i = 0; i < n; ++i) {
+        result_.timing[i].op_id = program.ops[i].op_id;
+    }
+    clock_base_ += t_;  // previous program's span becomes history
+    t_ = 0.0;
+    exec_i_ = 0;
+    phase_ = n > 0 ? ExecPhase::kWaitPreload : ExecPhase::kDone;
+    phase_local_left_ = 0.0;
+    phase_flow_ = -1;
+    stream_flow_ = -1;
+    phase_start_ = 0.0;
+    pre_r_ = 0;
+    pre_flow_ = -1;
+    pre_latency_left_ = 0.0;
+    pre_op_ = -1;
+    completed_execs_ = 0;
+    preload_done_.assign(n, false);
+    peak_ = occupancy_;
+    hbm_busy_ = 0.0;
+    fabric_preload_ = 0.0;
+    fabric_peer_ = 0.0;
+    guard_ = 0;
+    complete_ = false;
+    t_complete_ = t_;
+    if (program_complete()) {
+        complete_ = true;
+    }
+}
+
+double
+EngineState::standalone_preload(const SimOp& op) const
+{
+    const hw::ChipConfig& cfg = machine_.config();
+    double dram = op.dram_bytes / cfg.hbm_total_bw;
+    double fabric = op.delivery_bytes / machine_.delivery_capacity();
+    return cfg.hbm_access_latency_s + std::max(dram, fabric);
+}
+
+double
+EngineState::standalone_exec(const SimOp& op) const
+{
+    return std::max({op.exec_local_time,
+                     op.fetch_bytes / machine_.peer_capacity(),
+                     op.exec_stream_dram / machine_.config().hbm_total_bw});
+}
+
+double
+EngineState::standalone_distribute(const SimOp& op) const
+{
+    return std::max(op.distribute_local_time,
+                    op.distribute_bytes / machine_.peer_capacity());
+}
+
+void
+EngineState::relieve_pressure()
+{
+    if (resident_.empty()) {
+        return;
+    }
+    const double limit =
+        static_cast<double>(machine_.config().usable_sram_per_core());
+    while (occupancy_ > limit) {
+        auto victim = resident_.end();
+        for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+            if (it->second.pinned) {
+                continue;
+            }
+            if (victim == resident_.end() ||
+                it->second.seq < victim->second.seq) {
+                victim = it;
+            }
+        }
+        if (victim == resident_.end()) {
+            break;  // everything left is pinned by the running program
+        }
+        occupancy_ -= static_cast<double>(victim->second.space);
+        resident_bytes_ -= victim->second.space;
+        resident_.erase(victim);
+        ++resident_evictions_;
+    }
+}
+
+void
+EngineState::retire_op(int i)
+{
+    const SimOp& op = program_->ops[i];
+    occupancy_ -= static_cast<double>(op.exec_space);
+    auto it = resident_.find(op.op_id);
+    if (it != resident_.end()) {
+        // Was resident before this program: its weights stay in place,
+        // unpinned and refreshed for oldest-first eviction.
+        it->second.pinned = false;
+        it->second.seq = resident_seq_++;
+        occupancy_ += static_cast<double>(op.preload_space);
+    } else if (opts_.residency_budget > 0 && op.preload_space > 0 &&
+               op.dram_bytes > 0.0 &&
+               resident_bytes_ + op.preload_space <=
+                   opts_.residency_budget) {
+        ResidentEntry entry;
+        entry.space = op.preload_space;
+        entry.dram_bytes = op.dram_bytes;
+        entry.seq = resident_seq_++;
+        resident_.emplace(op.op_id, entry);
+        resident_bytes_ += op.preload_space;
+        occupancy_ += static_cast<double>(op.preload_space);
+    }
+}
+
+void
+EngineState::advance_transitions()
+{
+    const SimProgram& program = *program_;
     const hw::ChipConfig& cfg = machine_.config();
     const int n = static_cast<int>(program.ops.size());
     const int num_preloads = static_cast<int>(program.preload_order.size());
 
-    FluidNetwork net(machine_.capacities());
+    bool moved = true;
+    while (moved) {
+        moved = false;
 
-    SimResult result;
-    result.timing.assign(n, {});
-    for (int i = 0; i < n; ++i) {
-        result.timing[i].op_id = program.ops[i].op_id;
-    }
-
-    // --- state ---
-    double t = 0.0;
-    int exec_i = 0;
-    ExecPhase phase = n > 0 ? ExecPhase::kWaitPreload : ExecPhase::kDone;
-    double phase_local_left = 0.0;   // local timer of the current phase
-    FlowId phase_flow = -1;          // peer flow of the current phase
-    FlowId stream_flow = -1;         // exec-phase HBM stream flow
-    double phase_start = 0.0;
-
-    int pre_r = 0;                   // next preload_order entry to issue
-    FlowId pre_flow = -1;
-    double pre_latency_left = 0.0;   // HBM access latency before flow
-    int pre_op = -1;                 // op currently preloading
-    int completed_execs = 0;
-    std::vector<bool> preload_done(n, false);
-
-    double occupancy = 0.0;          // per-core bytes
-    double peak = 0.0;
-
-    // --- accounting integrals ---
-    double hbm_busy = 0.0;
-    double fabric_preload = 0.0;
-    double fabric_peer = 0.0;
-    const int pre_fab = machine_.fabric_resource_for_preload();
-    const int peer_fab = machine_.fabric_resource_for_peer();
-
-    auto preload_active = [&] {
-        return pre_op >= 0;
-    };
-    auto exec_active = [&] {
-        return phase == ExecPhase::kDistribute ||
-               phase == ExecPhase::kExecute;
-    };
-
-    // Standalone (contention-free) durations, for stall attribution.
-    auto standalone_preload = [&](const SimOp& op) {
-        double dram = op.dram_bytes / cfg.hbm_total_bw;
-        double fabric = op.delivery_bytes / machine_.delivery_capacity();
-        return cfg.hbm_access_latency_s + std::max(dram, fabric);
-    };
-    auto standalone_exec = [&](const SimOp& op) {
-        return std::max({op.exec_local_time,
-                         op.fetch_bytes / machine_.peer_capacity(),
-                         op.exec_stream_dram / cfg.hbm_total_bw});
-    };
-    auto standalone_distribute = [&](const SimOp& op) {
-        return std::max(op.distribute_local_time,
-                        op.distribute_bytes / machine_.peer_capacity());
-    };
-
-    int guard = 0;
-    const int guard_limit = 64 * (n + 1) + 1024;
-
-    while (phase != ExecPhase::kDone || pre_r < num_preloads ||
-           preload_active()) {
-        util::check(++guard < guard_limit, "Engine: no forward progress");
-
-        // ---- state transitions (repeat until quiescent) ----
-        bool moved = true;
-        while (moved) {
-            moved = false;
-
-            // Issue the next preload when its slot's predecessors are
-            // done and the previous preload finished.
-            if (!preload_active() && pre_r < num_preloads) {
-                int op_idx = program.preload_order[pre_r];
-                int slot = program.issue_slot[pre_r];
-                if (completed_execs >= slot) {
-                    const SimOp& op = program.ops[op_idx];
-                    result.timing[op_idx].pre_start = t;
-                    if (op.dram_bytes <= 0.0) {
-                        result.timing[op_idx].pre_end = t;
-                        preload_done[op_idx] = true;
-                        occupancy += static_cast<double>(op.preload_space);
-                        ++pre_r;
-                    } else {
-                        pre_op = op_idx;
-                        pre_latency_left = cfg.hbm_access_latency_s;
-                        occupancy += static_cast<double>(op.preload_space);
-                        ++pre_r;
-                    }
-                    peak = std::max(peak, occupancy);
-                    moved = true;
-                    continue;
-                }
-            }
-
-            // Preload latency elapsed: start the HBM flow.
-            if (preload_active() && pre_flow < 0 &&
-                pre_latency_left <= 0.0) {
-                const SimOp& op = program.ops[pre_op];
-                pre_flow = net.add_flow(
-                    op.dram_bytes,
-                    machine_.preload_weights(op.dram_bytes,
-                                             op.delivery_bytes),
-                    FlowTag::kHbmPreload);
-                moved = true;
-                continue;
-            }
-
-            // Preload flow completed.
-            if (preload_active() && pre_flow >= 0 &&
-                !net.flow_active(pre_flow)) {
-                result.timing[pre_op].pre_end = t;
-                result.interconnect_stall +=
-                    std::max(0.0, (t - result.timing[pre_op].pre_start) -
-                                      standalone_preload(
-                                          program.ops[pre_op]));
-                preload_done[pre_op] = true;
-                pre_op = -1;
-                pre_flow = -1;
-                moved = true;
-                continue;
-            }
-
-            // Execute side transitions.
-            if (phase == ExecPhase::kWaitPreload && exec_i < n &&
-                preload_done[exec_i]) {
-                const SimOp& op = program.ops[exec_i];
-                result.timing[exec_i].exec_start = t;
-                occupancy += static_cast<double>(op.exec_space) -
-                             static_cast<double>(op.preload_space);
-                peak = std::max(peak, occupancy);
-                phase = ExecPhase::kDistribute;
-                phase_start = t;
-                phase_local_left = op.distribute_local_time;
-                phase_flow =
-                    op.distribute_bytes > 0
-                        ? net.add_flow(op.distribute_bytes,
-                                       machine_.peer_weights(),
-                                       FlowTag::kDistribute)
-                        : -1;
-                moved = true;
-                continue;
-            }
-            if (phase == ExecPhase::kDistribute &&
-                phase_local_left <= 0.0 &&
-                (phase_flow < 0 || !net.flow_active(phase_flow))) {
-                const SimOp& op = program.ops[exec_i];
-                result.interconnect_stall += std::max(
-                    0.0, (t - phase_start) - standalone_distribute(op));
-                phase = ExecPhase::kExecute;
-                phase_start = t;
-                phase_local_left = op.exec_local_time;
-                phase_flow = op.fetch_bytes > 0
-                                 ? net.add_flow(op.fetch_bytes,
-                                                machine_.peer_weights(),
-                                                FlowTag::kExecFetch)
-                                 : -1;
-                // Chunked streamed operands keep drawing their HBM
-                // bytes while executing, contending with preloads.
-                stream_flow =
-                    op.exec_stream_dram > 0
-                        ? net.add_flow(
-                              op.exec_stream_dram,
-                              machine_.preload_weights(
-                                  op.exec_stream_dram,
-                                  op.exec_stream_dram),
-                              FlowTag::kHbmPreload)
-                        : -1;
-                moved = true;
-                continue;
-            }
-            if (phase == ExecPhase::kExecute && phase_local_left <= 0.0 &&
-                (phase_flow < 0 || !net.flow_active(phase_flow)) &&
-                (stream_flow < 0 || !net.flow_active(stream_flow))) {
-                const SimOp& op = program.ops[exec_i];
-                result.timing[exec_i].exec_end = t;
-                result.interconnect_stall += std::max(
-                    0.0, (t - phase_start) - standalone_exec(op));
-                occupancy -= static_cast<double>(op.exec_space);
-                ++completed_execs;
-                ++exec_i;
-                phase_flow = -1;
-                stream_flow = -1;
-                if (exec_i >= n) {
-                    phase = ExecPhase::kDone;
+        // Issue the next preload when its slot's predecessors are done
+        // and the previous preload finished.
+        if (!preload_active() && pre_r_ < num_preloads) {
+            int op_idx = program.preload_order[pre_r_];
+            int slot = program.issue_slot[pre_r_];
+            if (completed_execs_ >= slot) {
+                const SimOp& op = program.ops[op_idx];
+                result_.timing[op_idx].pre_start = t_;
+                auto res = resident_.find(op.op_id);
+                if (res != resident_.end()) {
+                    // Weights already in SRAM from an earlier program:
+                    // the preload completes instantly with no HBM
+                    // traffic. Pin the entry until the execute retires
+                    // so pressure eviction cannot take it first.
+                    res->second.pinned = true;
+                    ++resident_hits_;
+                    result_.timing[op_idx].pre_end = t_;
+                    preload_done_[op_idx] = true;
+                    ++pre_r_;
+                } else if (op.dram_bytes <= 0.0) {
+                    result_.timing[op_idx].pre_end = t_;
+                    preload_done_[op_idx] = true;
+                    occupancy_ += static_cast<double>(op.preload_space);
+                    ++pre_r_;
                 } else {
-                    phase = ExecPhase::kWaitPreload;
+                    pre_op_ = op_idx;
+                    pre_latency_left_ = cfg.hbm_access_latency_s;
+                    occupancy_ += static_cast<double>(op.preload_space);
+                    ++pre_r_;
                 }
+                relieve_pressure();
+                peak_ = std::max(peak_, occupancy_);
                 moved = true;
                 continue;
             }
         }
 
-        if (phase == ExecPhase::kDone && pre_r >= num_preloads &&
-            !preload_active()) {
+        // Preload latency elapsed: start the HBM flow.
+        if (preload_active() && pre_flow_ < 0 && pre_latency_left_ <= 0.0) {
+            const SimOp& op = program.ops[pre_op_];
+            pre_flow_ = net_->add_flow(
+                op.dram_bytes,
+                machine_.preload_weights(op.dram_bytes, op.delivery_bytes),
+                FlowTag::kHbmPreload);
+            moved = true;
+            continue;
+        }
+
+        // Preload flow completed.
+        if (preload_active() && pre_flow_ >= 0 &&
+            !net_->flow_active(pre_flow_)) {
+            result_.timing[pre_op_].pre_end = t_;
+            result_.interconnect_stall += std::max(
+                0.0, (t_ - result_.timing[pre_op_].pre_start) -
+                         standalone_preload(program.ops[pre_op_]));
+            preload_done_[pre_op_] = true;
+            pre_op_ = -1;
+            pre_flow_ = -1;
+            moved = true;
+            continue;
+        }
+
+        // Execute side transitions.
+        if (phase_ == ExecPhase::kWaitPreload && exec_i_ < n &&
+            preload_done_[exec_i_]) {
+            const SimOp& op = program.ops[exec_i_];
+            result_.timing[exec_i_].exec_start = t_;
+            occupancy_ += static_cast<double>(op.exec_space) -
+                          static_cast<double>(op.preload_space);
+            relieve_pressure();
+            peak_ = std::max(peak_, occupancy_);
+            phase_ = ExecPhase::kDistribute;
+            phase_start_ = t_;
+            phase_local_left_ = op.distribute_local_time;
+            phase_flow_ =
+                op.distribute_bytes > 0
+                    ? net_->add_flow(op.distribute_bytes,
+                                     machine_.peer_weights(),
+                                     FlowTag::kDistribute)
+                    : -1;
+            moved = true;
+            continue;
+        }
+        if (phase_ == ExecPhase::kDistribute && phase_local_left_ <= 0.0 &&
+            (phase_flow_ < 0 || !net_->flow_active(phase_flow_))) {
+            const SimOp& op = program.ops[exec_i_];
+            result_.interconnect_stall += std::max(
+                0.0, (t_ - phase_start_) - standalone_distribute(op));
+            phase_ = ExecPhase::kExecute;
+            phase_start_ = t_;
+            phase_local_left_ = op.exec_local_time;
+            phase_flow_ = op.fetch_bytes > 0
+                              ? net_->add_flow(op.fetch_bytes,
+                                               machine_.peer_weights(),
+                                               FlowTag::kExecFetch)
+                              : -1;
+            // Chunked streamed operands keep drawing their HBM bytes
+            // while executing, contending with preloads.
+            stream_flow_ =
+                op.exec_stream_dram > 0
+                    ? net_->add_flow(op.exec_stream_dram,
+                                     machine_.preload_weights(
+                                         op.exec_stream_dram,
+                                         op.exec_stream_dram),
+                                     FlowTag::kHbmPreload)
+                    : -1;
+            moved = true;
+            continue;
+        }
+        if (phase_ == ExecPhase::kExecute && phase_local_left_ <= 0.0 &&
+            (phase_flow_ < 0 || !net_->flow_active(phase_flow_)) &&
+            (stream_flow_ < 0 || !net_->flow_active(stream_flow_))) {
+            const SimOp& op = program.ops[exec_i_];
+            result_.timing[exec_i_].exec_end = t_;
+            result_.interconnect_stall +=
+                std::max(0.0, (t_ - phase_start_) - standalone_exec(op));
+            retire_op(exec_i_);
+            ++completed_execs_;
+            ++exec_i_;
+            phase_flow_ = -1;
+            stream_flow_ = -1;
+            if (exec_i_ >= n) {
+                phase_ = ExecPhase::kDone;
+            } else {
+                phase_ = ExecPhase::kWaitPreload;
+            }
+            moved = true;
+            continue;
+        }
+    }
+}
+
+double
+EngineState::event_horizon() const
+{
+    double dt = net_->time_to_next_completion();
+    if (preload_active() && pre_flow_ < 0 && pre_latency_left_ > 0) {
+        dt = std::min(dt, pre_latency_left_);
+    }
+    if (exec_active() && phase_local_left_ > 0) {
+        dt = std::min(dt, phase_local_left_);
+    }
+    return dt;
+}
+
+void
+EngineState::advance_time(double dt)
+{
+    if (dt > 0) {
+        const int pre_fab = machine_.fabric_resource_for_preload();
+        const int peer_fab = machine_.fabric_resource_for_peer();
+        double hbm_cap = net_->capacity(Resources::kHbmDram);
+        hbm_busy_ +=
+            dt * net_->resource_usage(Resources::kHbmDram) / hbm_cap;
+        fabric_preload_ +=
+            dt * net_->resource_usage(pre_fab, FlowTag::kHbmPreload);
+        fabric_peer_ +=
+            dt * (net_->resource_usage(peer_fab, FlowTag::kDistribute) +
+                  net_->resource_usage(peer_fab, FlowTag::kExecFetch));
+        bool e = exec_active();
+        bool p = preload_active();
+        if (e && p) {
+            result_.overlapped += dt;
+        } else if (e) {
+            result_.execute_only += dt;
+        } else {
+            result_.preload_only += dt;
+        }
+    }
+
+    net_->advance(dt);
+    if (preload_active() && pre_flow_ < 0) {
+        pre_latency_left_ -= dt;
+    }
+    if (exec_active() && phase_local_left_ > 0) {
+        phase_local_left_ -= dt;
+    }
+    t_ += dt;
+}
+
+bool
+EngineState::step_until(double cap)
+{
+    if (done()) {
+        return false;
+    }
+    advance_transitions();
+    if (program_complete()) {
+        complete_ = true;
+        t_complete_ = t_;
+        return false;
+    }
+    const int n = static_cast<int>(program_->ops.size());
+    util::check(++guard_ < 64 * (n + 1) + 1024,
+                "Engine: no forward progress");
+    double dt = event_horizon();
+    util::check(std::isfinite(dt) && dt >= 0,
+                "Engine: stalled with no pending event");
+    dt = std::max(dt, 0.0);
+    if (t_ + dt > cap) {
+        // Clipped at the caller's horizon: this is not an engine
+        // event, so it does not count against the progress guard.
+        dt = std::max(cap - t_, 0.0);
+        --guard_;
+    }
+    advance_time(dt);
+    return true;
+}
+
+bool
+EngineState::step()
+{
+    return step_until(kInf);
+}
+
+void
+EngineState::run_to(double t_target)
+{
+    const double cap = t_target - clock_base_;  // local horizon
+    while (!done() && t_ < cap) {
+        if (!step_until(cap)) {
             break;
         }
-
-        // ---- determine the next event horizon ----
-        double dt = net.time_to_next_completion();
-        if (preload_active() && pre_flow < 0 && pre_latency_left > 0) {
-            dt = std::min(dt, pre_latency_left);
-        }
-        if ((phase == ExecPhase::kDistribute ||
-             phase == ExecPhase::kExecute) &&
-            phase_local_left > 0) {
-            dt = std::min(dt, phase_local_left);
-        }
-        util::check(std::isfinite(dt) && dt >= 0,
-                    "Engine: stalled with no pending event");
-        dt = std::max(dt, 0.0);
-
-        // ---- integrate accounting over dt ----
-        if (dt > 0) {
-            double hbm_cap = net.capacity(Resources::kHbmDram);
-            hbm_busy +=
-                dt * net.resource_usage(Resources::kHbmDram) / hbm_cap;
-            fabric_preload +=
-                dt * net.resource_usage(pre_fab, FlowTag::kHbmPreload);
-            fabric_peer +=
-                dt * (net.resource_usage(peer_fab, FlowTag::kDistribute) +
-                      net.resource_usage(peer_fab, FlowTag::kExecFetch));
-            bool e = exec_active();
-            bool p = preload_active();
-            if (e && p) {
-                result.overlapped += dt;
-            } else if (e) {
-                result.execute_only += dt;
-            } else {
-                result.preload_only += dt;
-            }
-        }
-
-        // ---- advance ----
-        net.advance(dt);
-        if (preload_active() && pre_flow < 0) {
-            pre_latency_left -= dt;
-        }
-        if ((phase == ExecPhase::kDistribute ||
-             phase == ExecPhase::kExecute) &&
-            phase_local_left > 0) {
-            phase_local_left -= dt;
-        }
-        t += dt;
     }
+    if (done() && t_ < cap) {
+        t_ = cap;  // idle until the horizon
+    }
+}
 
-    // ---- final metrics ----
-    result.total_time = t;
+SimResult
+EngineState::finish()
+{
+    util::check(program_ != nullptr,
+                "EngineState: finish() without a program");
+    util::check(complete_, "EngineState: finish() before completion");
+    const double total = t_complete_;
+    result_.total_time = total;
     double total_flops = 0.0;
-    for (const auto& op : program.ops) {
+    for (const auto& op : program_->ops) {
         total_flops += op.flops;
     }
-    if (t > 0) {
-        result.hbm_util = hbm_busy / t;
-        result.noc_util_preload = fabric_preload / t;
-        result.noc_util_peer = fabric_peer / t;
-        result.noc_util = result.noc_util_preload + result.noc_util_peer;
-        result.achieved_tflops = total_flops / t / 1e12;
+    if (total > 0) {
+        result_.hbm_util = hbm_busy_ / total;
+        result_.noc_util_preload = fabric_preload_ / total;
+        result_.noc_util_peer = fabric_peer_ / total;
+        result_.noc_util =
+            result_.noc_util_preload + result_.noc_util_peer;
+        result_.achieved_tflops = total_flops / total / 1e12;
     }
-    result.peak_sram_per_core = static_cast<uint64_t>(peak);
-    result.memory_exceeded =
-        result.peak_sram_per_core > cfg.usable_sram_per_core();
-    return result;
+    result_.peak_sram_per_core = static_cast<uint64_t>(peak_);
+    result_.memory_exceeded = result_.peak_sram_per_core >
+                              machine_.config().usable_sram_per_core();
+    SimResult out = std::move(result_);
+    result_ = SimResult{};
+    program_ = nullptr;
+    net_.reset();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+SimResult
+Engine::run(const SimProgram& program) const
+{
+    EngineState state(machine_);
+    state.begin(program);
+    while (state.step()) {
+    }
+    return state.finish();
 }
 
 }  // namespace elk::sim

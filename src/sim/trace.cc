@@ -2,7 +2,39 @@
 
 #include <sstream>
 
+#include "util/bits.h"
+
 namespace elk::sim {
+
+using util::append_bits;
+
+std::string
+SimResult::serialize_bits() const
+{
+    std::string out;
+    out.reserve(96 + timing.size() * 40);
+    append_bits(out, total_time);
+    append_bits(out, static_cast<uint64_t>(timing.size()));
+    for (const auto& t : timing) {
+        append_bits(out, t.op_id);
+        append_bits(out, t.pre_start);
+        append_bits(out, t.pre_end);
+        append_bits(out, t.exec_start);
+        append_bits(out, t.exec_end);
+    }
+    append_bits(out, preload_only);
+    append_bits(out, execute_only);
+    append_bits(out, overlapped);
+    append_bits(out, interconnect_stall);
+    append_bits(out, hbm_util);
+    append_bits(out, noc_util);
+    append_bits(out, noc_util_preload);
+    append_bits(out, noc_util_peer);
+    append_bits(out, achieved_tflops);
+    append_bits(out, peak_sram_per_core);
+    append_bits(out, static_cast<uint8_t>(memory_exceeded ? 1 : 0));
+    return out;
+}
 
 std::string
 SimResult::summary() const

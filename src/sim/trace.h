@@ -52,6 +52,15 @@ struct SimResult {
 
     /// One-line summary for logs.
     std::string summary() const;
+
+    /**
+     * Exact byte-level serialization of every field (doubles as IEEE
+     * bit patterns). Two results serialize identically iff they are
+     * bit-identical — the check the resumable engine and the serving
+     * runtime use to prove determinism (step-driven == one-shot,
+     * --jobs N == --jobs 1).
+     */
+    std::string serialize_bits() const;
 };
 
 }  // namespace elk::sim

@@ -1,0 +1,16 @@
+#include "util/bits.h"
+
+#include <cstdio>
+
+namespace elk::util {
+
+std::string
+Fnv1a::hex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+}
+
+}  // namespace elk::util

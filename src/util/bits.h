@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bit-exact serialization and hashing primitives shared by the
+ * determinism hooks (`ExecutionPlan`/`SimResult`/`ServingReport`
+ * `serialize_bits()`) and the structural digests (plan-cache keys,
+ * bench report digests). Keeping them single-sourced is what makes
+ * "equal strings iff bit-identical" a property of one definition
+ * instead of several copies that could drift.
+ */
+#ifndef ELK_UTIL_BITS_H
+#define ELK_UTIL_BITS_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace elk::util {
+
+/// Appends @p value's raw object bytes to @p out.
+template <typename T>
+void
+append_bits(std::string& out, const T& value)
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "append_bits requires a trivially copyable type");
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+/// Incremental 64-bit FNV-1a hash.
+class Fnv1a {
+  public:
+    void
+    mix(const void* data, size_t len)
+    {
+        const unsigned char* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 1099511628211ull;
+        }
+    }
+
+    template <typename T>
+    void
+    mix_value(const T& value)
+    {
+        static_assert(std::is_trivially_copyable<T>::value,
+                      "mix_value requires a trivially copyable type");
+        mix(&value, sizeof(T));
+    }
+
+    uint64_t value() const { return hash_; }
+
+    /// 16-hex-digit form of the current hash.
+    std::string hex() const;
+
+  private:
+    uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace elk::util
+
+#endif  // ELK_UTIL_BITS_H

@@ -1,0 +1,72 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace elk::util {
+
+namespace {
+
+[[noreturn]] void
+reject(const char* what, const char* text, const std::string& why)
+{
+    std::ostringstream msg;
+    msg << what << ": invalid value '" << (text ? text : "(null)")
+        << "' (" << why << ")";
+    fatal(msg.str());
+}
+
+}  // namespace
+
+int
+parse_int_arg(const char* text, const char* what, int min_value,
+              int max_value)
+{
+    if (text == nullptr || *text == '\0') {
+        reject(what, text, "empty");
+    }
+    errno = 0;
+    char* end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+        reject(what, text, "not an integer");
+    }
+    if (errno == ERANGE ||
+        value < static_cast<long>(min_value) ||
+        value > static_cast<long>(max_value)) {
+        std::ostringstream why;
+        why << "expected " << min_value << ".." << max_value;
+        reject(what, text, why.str());
+    }
+    return static_cast<int>(value);
+}
+
+double
+parse_double_arg(const char* text, const char* what, double min_value,
+                 double max_value)
+{
+    if (text == nullptr || *text == '\0') {
+        reject(what, text, "empty");
+    }
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        reject(what, text, "not a number");
+    }
+    if (errno == ERANGE || !std::isfinite(value) || value < min_value ||
+        value > max_value) {
+        std::ostringstream why;
+        why << "expected " << min_value << ".." << max_value;
+        reject(what, text, why.str());
+    }
+    return value;
+}
+
+}  // namespace elk::util

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Strict command-line number parsing shared by the drivers (elkc, the
+ * examples, the benches).
+ *
+ * std::atoi silently maps garbage to 0, which for knobs like --batch
+ * turns a typo into an empty graph. These parsers follow the
+ * ThreadPool::parse_jobs_arg contract instead: the whole token must be
+ * a number within the stated range, anything else dies via
+ * util::fatal with the flag's name in the message.
+ */
+#ifndef ELK_UTIL_PARSE_H
+#define ELK_UTIL_PARSE_H
+
+namespace elk::util {
+
+/**
+ * Parses @p text as a decimal integer in [@p min_value, @p max_value].
+ * Rejects empty input, trailing junk, and out-of-range values via
+ * util::fatal; @p what names the flag/argument in the error message.
+ */
+int parse_int_arg(const char* text, const char* what, int min_value,
+                  int max_value);
+
+/**
+ * Parses @p text as a finite floating-point number in
+ * [@p min_value, @p max_value]; same strictness as parse_int_arg.
+ */
+double parse_double_arg(const char* text, const char* what,
+                        double min_value, double max_value);
+
+}  // namespace elk::util
+
+#endif  // ELK_UTIL_PARSE_H

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/parse.h"
 
 namespace elk::util {
 
@@ -76,13 +77,7 @@ ThreadPool::resolve_jobs(int jobs)
 int
 ThreadPool::parse_jobs_arg(const char* text, const char* what)
 {
-    char* end = nullptr;
-    long v = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || v < 0 || v > 4096) {
-        fatal(std::string("invalid ") + what + " value: '" + text +
-              "' (want an integer >= 0; 0 = all hardware threads)");
-    }
-    return static_cast<int>(v);
+    return parse_int_arg(text, what, 0, 4096);
 }
 
 void

@@ -160,5 +160,32 @@ TEST(MachineScalingTest, MeshTighterThanAllToAll)
     EXPECT_LT(mesh.delivery_capacity(), a2a.delivery_capacity());
 }
 
+TEST(SimProgramValidateTest, RejectsDuplicatePreloadEntries)
+{
+    SimProgram prog;
+    prog.ops.resize(2);
+    prog.preload_order = {0, 0};  // op 1 never preloaded, op 0 twice
+    prog.issue_slot = {0, 0};
+    EXPECT_DEATH(prog.validate(), "duplicate preload entry");
+}
+
+TEST(SimProgramValidateTest, RejectsIssueSlotPastProgramEnd)
+{
+    SimProgram prog;
+    prog.ops.resize(2);
+    prog.preload_order = {0, 1};
+    prog.issue_slot = {0, 5};  // references an execute after the end
+    EXPECT_DEATH(prog.validate(), "issue slot past program end");
+}
+
+TEST(SimProgramValidateTest, RejectsOutOfRangeOrderEntry)
+{
+    SimProgram prog;
+    prog.ops.resize(2);
+    prog.preload_order = {0, 2};
+    prog.issue_slot = {0, 1};
+    EXPECT_DEATH(prog.validate(), "bad preload order entry");
+}
+
 }  // namespace
 }  // namespace elk::sim

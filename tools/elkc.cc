@@ -9,23 +9,33 @@
  *   elkc --model Llama2-13B --batch 32 --seq 2048 --mode elk-full
  *   elkc --graph my_model.egf --topology mesh --hbm-tbs 8
  *   elkc --model OPT-30B --dump-timing run.csv --timeline
+ *
+ * The `serve` subcommand drives the event-driven serving runtime
+ * instead of a single decode step:
+ *
+ *   elkc serve --model Llama2-13B --batch 32 --requests 64 --rate 800
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "elk/compiler.h"
 #include "elk/device_program.h"
+#include "elk/plan_cache.h"
+#include "elk/serving_compiler.h"
 #include "frontend/graph_io.h"
 #include "graph/model_builder.h"
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "runtime/server.h"
 #include "runtime/trace_export.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -37,6 +47,7 @@ usage(const char* argv0)
 {
     std::printf(
         "usage: %s [options]\n"
+        "       %s serve [options]   (serving runtime; see below)\n"
         "  --model NAME      built-in preset (Llama2-13B, Gemma2-27B,\n"
         "                    OPT-30B, Llama2-70B, DiT-XL)\n"
         "  --graph FILE.egf  load a serialized graph instead\n"
@@ -55,8 +66,16 @@ usage(const char* argv0)
         "                    at any setting)\n"
         "  --passes P        'list' prints the pass pipeline for the\n"
         "                    selected mode and exits; otherwise a\n"
-        "                    comma-separated subset of passes to run\n",
-        argv0);
+        "                    comma-separated subset of passes to run\n"
+        "serve options (with --model/--batch/--seq/--mode/--topology/\n"
+        "--hbm-tbs/--chips/--jobs as above):\n"
+        "  --requests N      requests to serve (default 64)\n"
+        "  --rate R          Poisson arrival rate in requests/s;\n"
+        "                    0 = closed loop (default)\n"
+        "  --tokens N        decode tokens per request (default 4)\n"
+        "  --seed S          arrival trace seed (default 42)\n"
+        "  --no-residency    re-preload weights every iteration\n",
+        argv0, argv0);
     std::exit(2);
 }
 
@@ -71,11 +90,131 @@ parse_mode(const std::string& mode)
     util::fatal("unknown mode: " + mode);
 }
 
+hw::ChipConfig
+parse_target(const std::string& topology, double hbm_tbs, int chips)
+{
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    chip.num_chips = chips;
+    chip.hbm_total_bw = hbm_tbs * 1e12;
+    if (topology == "mesh") {
+        chip.topology = hw::TopologyKind::kMesh2D;
+    } else if (topology != "all-to-all") {
+        util::fatal("unknown topology: " + topology);
+    }
+    return chip;
+}
+
+/// The `elkc serve` subcommand: compile a decode-step family through
+/// the plan cache and serve an arrival trace on the event-driven
+/// runtime. @p argv0 is the real program name (argv here starts at
+/// the subcommand), so usage() prints an invocable command line.
+int
+serve_main(int argc, char** argv, const char* argv0)
+{
+    std::string model_name = "Llama2-13B";
+    std::string mode_name = "elk-full";
+    std::string topology = "all-to-all";
+    double hbm_tbs = 16.0;
+    int chips = 4;
+    int batch = 32;
+    int seq = 2048;
+    int requests = 64;
+    double rate = 0.0;
+    int tokens = 4;
+    int seed = 42;
+    int jobs = 1;
+    bool residency = true;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char* flag) {
+            if (std::strcmp(argv[i], flag) != 0) {
+                return static_cast<const char*>(nullptr);
+            }
+            if (i + 1 >= argc) {
+                usage(argv0);
+            }
+            return static_cast<const char*>(argv[++i]);
+        };
+        if (const char* v = arg("--model")) {
+            model_name = v;
+        } else if (const char* v = arg("--mode")) {
+            mode_name = v;
+        } else if (const char* v = arg("--topology")) {
+            topology = v;
+        } else if (const char* v = arg("--hbm-tbs")) {
+            hbm_tbs = util::parse_double_arg(v, "--hbm-tbs", 1e-3, 1e6);
+        } else if (const char* v = arg("--chips")) {
+            chips = util::parse_int_arg(v, "--chips", 1, 4096);
+        } else if (const char* v = arg("--batch")) {
+            batch = util::parse_int_arg(v, "--batch", 1, 4096);
+        } else if (const char* v = arg("--seq")) {
+            seq = util::parse_int_arg(v, "--seq", 1, 1 << 20);
+        } else if (const char* v = arg("--requests")) {
+            requests = util::parse_int_arg(v, "--requests", 1, 1 << 20);
+        } else if (const char* v = arg("--rate")) {
+            rate = util::parse_double_arg(v, "--rate", 0.0, 1e9);
+        } else if (const char* v = arg("--tokens")) {
+            tokens = util::parse_int_arg(v, "--tokens", 1, 1 << 20);
+        } else if (const char* v = arg("--seed")) {
+            seed = util::parse_int_arg(v, "--seed", 0,
+                                       std::numeric_limits<int>::max());
+        } else if (const char* v = arg("--jobs")) {
+            jobs = util::ThreadPool::parse_jobs_arg(v, "--jobs");
+        } else if (std::strcmp(argv[i], "--no-residency") == 0) {
+            residency = false;
+        } else {
+            usage(argv0);
+        }
+    }
+
+    hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
+    compiler::CompileOptions copts;
+    copts.mode = parse_mode(mode_name);
+    compiler::PlanCache cache;
+    compiler::ServingCompiler sc(graph::model_by_name(model_name), seq,
+                                 chip, copts, &cache, jobs);
+
+    runtime::ServerOptions sopts;
+    sopts.max_batch = batch;
+    sopts.tokens_per_request = tokens;
+    sopts.keep_resident = residency;
+    runtime::Server server(sc.machine(), sopts);
+    std::vector<double> arrivals =
+        rate > 0 ? runtime::ArrivalTrace::poisson(
+                       requests, rate, static_cast<uint64_t>(seed))
+                 : runtime::ArrivalTrace::closed_loop(requests);
+
+    std::printf("serving    : %s, %s, batch %d, seq %d\n",
+                model_name.c_str(), sc.mode().c_str(), batch, seq);
+    if (rate > 0) {
+        std::printf("trace      : %d requests x %d tokens, "
+                    "Poisson @ %g req/s\n",
+                    requests, tokens, rate);
+    } else {
+        std::printf("trace      : %d requests x %d tokens, "
+                    "closed loop\n",
+                    requests, tokens);
+    }
+    runtime::ServingReport rep =
+        server.serve(arrivals, [&](int b) { return sc.program(b); });
+    std::printf("%s\n", rep.summary().c_str());
+    auto stats = cache.stats();
+    std::printf("plan cache : %d entries, %lld hits, %lld misses "
+                "(compile %.2f s total)\n",
+                stats.entries, static_cast<long long>(stats.hits),
+                static_cast<long long>(stats.misses),
+                sc.compile_seconds());
+    return 0;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+        return serve_main(argc - 1, argv + 1, argv[0]);
+    }
     std::string model_name = "Llama2-13B";
     std::string graph_file;
     std::string save_graph_file;
@@ -106,17 +245,17 @@ main(int argc, char** argv)
         } else if (const char* v = arg("--graph")) {
             graph_file = v;
         } else if (const char* v = arg("--batch")) {
-            batch = std::atoi(v);
+            batch = util::parse_int_arg(v, "--batch", 1, 4096);
         } else if (const char* v = arg("--seq")) {
-            seq = std::atoi(v);
+            seq = util::parse_int_arg(v, "--seq", 1, 1 << 20);
         } else if (const char* v = arg("--mode")) {
             mode_name = v;
         } else if (const char* v = arg("--topology")) {
             topology = v;
         } else if (const char* v = arg("--hbm-tbs")) {
-            hbm_tbs = std::atof(v);
+            hbm_tbs = util::parse_double_arg(v, "--hbm-tbs", 1e-3, 1e6);
         } else if (const char* v = arg("--chips")) {
-            chips = std::atoi(v);
+            chips = util::parse_int_arg(v, "--chips", 1, 4096);
         } else if (const char* v = arg("--save-graph")) {
             save_graph_file = v;
         } else if (const char* v = arg("--dump-timing")) {
@@ -152,14 +291,7 @@ main(int argc, char** argv)
     }
 
     // --- target ---
-    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
-    chip.num_chips = chips;
-    chip.hbm_total_bw = hbm_tbs * 1e12;
-    if (topology == "mesh") {
-        chip.topology = hw::TopologyKind::kMesh2D;
-    } else if (topology != "all-to-all") {
-        util::fatal("unknown topology: " + topology);
-    }
+    hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
 
     // --- compile & run ---
     compiler::Mode mode = parse_mode(mode_name);
