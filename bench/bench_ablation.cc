@@ -14,9 +14,10 @@
 #include "elk/inductive_scheduler.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
     auto model = graph::llama2_13b();
     auto graph = graph::build_decode_graph(model, 32, 2048);
@@ -26,7 +27,7 @@ main()
     // --- (a) window cap ---
     util::Table wt({"max_window", "latency(ms)", "est(ms)"});
     {
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         compiler::InductiveScheduler sched(comp.library());
         for (int w : {1, 2, 4, 8, 16, 28}) {
             compiler::ScheduleOptions opts;
@@ -48,7 +49,7 @@ main()
     // --- (b) preload anchor weight ---
     util::Table at({"overhead_weight", "latency(ms)"});
     {
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         compiler::InductiveScheduler sched(comp.library());
         for (double a : {0.0, 0.25, 1.0, 4.0, 1e9}) {
             compiler::ScheduleOptions opts;
@@ -69,7 +70,7 @@ main()
     util::Table rt({"model", "ELK-Dyn(ms)", "ELK-Full(ms)", "gain"});
     for (const auto& m : bench::llm_models()) {
         auto g = graph::build_decode_graph(m, 32, 2048);
-        compiler::Compiler comp(g, cfg);
+        compiler::Compiler comp(g, cfg, nullptr, n_jobs);
         auto dyn =
             bench::run_design(comp, g, cfg, compiler::Mode::kElkDyn);
         auto full =

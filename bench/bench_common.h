@@ -33,22 +33,32 @@ fast_mode()
 }
 
 /**
- * Compiler worker threads for the benches: the --jobs N flag when the
- * driver passes argc/argv, else the ELK_BENCH_JOBS environment knob,
- * else 1 (serial). 0 means all hardware threads. Plans are
- * bit-identical at any setting, so jobs only changes wall-clock.
+ * Compiler worker threads for the benches: the --jobs N flag, else
+ * the ELK_BENCH_JOBS environment knob, else 1 (serial). 0 means all
+ * hardware threads. Plans are bit-identical at any setting, so jobs
+ * only changes wall-clock. The parse is strict — every figure bench
+ * shares this one-flag command line, and an unknown argument is fatal
+ * rather than silently ignored (a typo must not degrade a sweep to
+ * its serial default).
  */
 inline int
 jobs(int argc = 0, char** argv = nullptr)
 {
+    int parsed = -1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0) {
             if (i + 1 >= argc) {
                 util::fatal("--jobs requires a value");
             }
-            return util::ThreadPool::parse_jobs_arg(argv[i + 1],
-                                                    "--jobs");
+            parsed = util::ThreadPool::parse_jobs_arg(argv[++i],
+                                                      "--jobs");
+        } else {
+            util::fatal(std::string("unknown argument '") + argv[i] +
+                        "'; usage: " + argv[0] + " [--jobs N]");
         }
+    }
+    if (parsed >= 0) {
+        return parsed;
     }
     const char* env = std::getenv("ELK_BENCH_JOBS");
     return env != nullptr

@@ -14,9 +14,10 @@
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
 
     util::Table table({"model", "operator", "plan", "exec_space(KB)",
@@ -30,7 +31,7 @@ main()
 
     for (const auto& model : models) {
         auto graph = graph::build_decode_graph(model, 32, 2048);
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         std::map<std::string, bool> done;
         for (const auto& op : graph.ops()) {
             bool wanted = false;

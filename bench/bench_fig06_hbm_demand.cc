@@ -14,9 +14,10 @@
 #include "util/stats.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
 
     util::Table table({"model", "preload_space(KB)", "mean(TB/s)",
@@ -29,7 +30,7 @@ main()
 
     for (const auto& model : models) {
         auto graph = graph::build_decode_graph(model, 32, 2048);
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         for (uint64_t kb : {128, 256, 384}) {
             compiler::CompileOptions opts;
             opts.mode = compiler::Mode::kStatic;

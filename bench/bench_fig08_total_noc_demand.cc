@@ -58,8 +58,9 @@ policy_preload(const compiler::PlanLibrary& lib, int op, int exec_idx,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
     const uint64_t region = 256ull * 1024;
     const uint64_t exec_budget = cfg.usable_sram_per_core() - region;
@@ -72,7 +73,7 @@ main()
 
     for (const auto& model : models) {
         auto graph = graph::build_decode_graph(model, 32, 2048);
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         sim::Machine machine(cfg);
         for (bool max_preload : {false, true}) {
             // Two interleaved window series: each operator contributes

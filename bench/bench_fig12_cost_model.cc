@@ -17,9 +17,12 @@
 #include "util/stats.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    // Cost-model fitting has no parallel stage; parsing keeps the
+    // figure-bench command line uniform (and typos fatal).
+    (void)bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
     const int train_n = bench::fast_mode() ? 200 : 600;
     const int test_n = bench::fast_mode() ? 80 : 250;

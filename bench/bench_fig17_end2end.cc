@@ -12,9 +12,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
 
     std::vector<int> batches = bench::fast_mode()
@@ -36,7 +37,7 @@ main()
         for (int seq : seqs) {
             for (int batch : batches) {
                 auto graph = graph::build_decode_graph(model, batch, seq);
-                auto runs = bench::run_all_designs(graph, cfg);
+                auto runs = bench::run_all_designs(graph, cfg, n_jobs);
                 const auto& basic = runs[0].sim;
                 const auto& stat = runs[1].sim;
                 const auto& full = runs[3].sim;

@@ -13,9 +13,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
 
     util::Table a({"model", "design", "total(ms)", "preload(ms)",
@@ -27,7 +28,7 @@ main()
 
     for (const auto& model : bench::llm_models()) {
         auto graph = graph::build_decode_graph(model, 32, 2048);
-        auto runs = bench::run_all_designs(graph, cfg);
+        auto runs = bench::run_all_designs(graph, cfg, n_jobs);
         for (const auto& r : runs) {
             std::string design = compiler::mode_name(r.mode);
             a.add(model.name, design, runtime::ms(r.sim.total_time),

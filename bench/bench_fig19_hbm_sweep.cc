@@ -11,9 +11,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     std::vector<double> hbm_tbs = bench::fast_mode()
                                       ? std::vector<double>{8, 16}
                                       : std::vector<double>{4, 6, 8, 10,
@@ -34,7 +35,7 @@ main()
                 auto cfg = hw::ChipConfig::ipu_pod4();
                 cfg.topology = topo;
                 cfg.hbm_total_bw = tb * 1e12;
-                auto runs = bench::run_all_designs(graph, cfg);
+                auto runs = bench::run_all_designs(graph, cfg, n_jobs);
                 table.add(hw::topology_name(topo), model.name, tb,
                           runtime::ms(runs[0].sim.total_time),
                           runtime::ms(runs[1].sim.total_time),

@@ -10,9 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     std::vector<double> hbm_tbs =
         bench::fast_mode() ? std::vector<double>{8, 16}
                            : std::vector<double>{6, 8, 10, 12, 14, 16};
@@ -25,7 +26,7 @@ main()
     for (double tb : hbm_tbs) {
         auto cfg = hw::ChipConfig::ipu_pod4();
         cfg.hbm_total_bw = tb * 1e12;
-        auto runs = bench::run_all_designs(graph, cfg);
+        auto runs = bench::run_all_designs(graph, cfg, n_jobs);
         for (const auto& r : runs) {
             table.add(compiler::mode_name(r.mode), tb,
                       runtime::ms(r.sim.total_time),

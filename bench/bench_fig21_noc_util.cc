@@ -10,9 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     std::vector<double> hbm_tbs =
         bench::fast_mode() ? std::vector<double>{8, 16}
                            : std::vector<double>{4, 8, 12, 16};
@@ -31,7 +32,7 @@ main()
                 auto cfg = hw::ChipConfig::ipu_pod4();
                 cfg.topology = topo;
                 cfg.hbm_total_bw = tb * 1e12;
-                compiler::Compiler comp(graph, cfg);
+                compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
                 std::vector<std::string> cells;
                 table.add_row({hw::topology_name(topo), model.name,
                                util::Table::format_cell(tb),

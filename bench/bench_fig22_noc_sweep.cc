@@ -11,9 +11,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     // Interconnect scale factors relative to the baseline fabric
     // (baseline all-to-all aggregate is ~32 TB/s over 4 chips, the
     // paper sweeps 24-48 TB/s total).
@@ -40,7 +41,7 @@ main()
                 cfg.mesh_link_bw *= scale;
                 double noc_total =
                     cfg.noc_aggregate_bw() * cfg.num_chips / 1e12;
-                auto runs = bench::run_all_designs(graph, cfg);
+                auto runs = bench::run_all_designs(graph, cfg, n_jobs);
                 table.add(hw::topology_name(topo), tb, noc_total,
                           runtime::ms(runs[0].sim.total_time),
                           runtime::ms(runs[1].sim.total_time),

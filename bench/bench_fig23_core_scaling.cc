@@ -12,9 +12,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
 
     util::Table table({"model", "cores", "Basic(ms)", "Static(ms)",
                        "ELK-Dyn(ms)", "ELK-Full(ms)", "Ideal(ms)"});
@@ -33,7 +34,7 @@ main()
             auto cfg = hw::ChipConfig::ipu_pod4();
             cfg.num_chips = n;
             cfg.hbm_total_bw = 2.7e9 * cfg.total_cores();
-            auto runs = bench::run_all_designs(graph, cfg);
+            auto runs = bench::run_all_designs(graph, cfg, n_jobs);
             table.add(model.name, cfg.total_cores(),
                       runtime::ms(runs[0].sim.total_time),
                       runtime::ms(runs[1].sim.total_time),
@@ -53,7 +54,7 @@ main()
         cfg.cores_per_chip = c;
         cfg.hbm_total_bw = 2.7e9 * cfg.total_cores();
         auto graph = graph::build_dit_graph(graph::dit_xl(), 8, 256);
-        auto runs = bench::run_all_designs(graph, cfg);
+        auto runs = bench::run_all_designs(graph, cfg, n_jobs);
         table.add("DiT-XL", c, runtime::ms(runs[0].sim.total_time),
                   runtime::ms(runs[1].sim.total_time),
                   runtime::ms(runs[2].sim.total_time),

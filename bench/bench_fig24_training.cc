@@ -12,9 +12,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     std::vector<double> avail_tflops =
         bench::fast_mode() ? std::vector<double>{1000, 1600}
                            : std::vector<double>{800, 1000, 1200, 1400,
@@ -39,7 +40,7 @@ main()
                     cfg.hbm_total_bw = hbm * 1e9;
                     cfg.core_matmul_flops =
                         tf * 1e12 / cfg.total_cores();
-                    compiler::Compiler comp(graph, cfg);
+                    compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
                     auto stat = bench::run_design(
                         comp, graph, cfg, compiler::Mode::kStatic);
                     auto full = bench::run_design(

@@ -10,11 +10,18 @@
  * goodput, queue depth, and the steady-state preload time — which
  * drops below the cold first iteration when weight residency kicks in.
  *
- * Replica cells of the (mode x load) grid are independent: they fan
- * out over util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into
- * per-cell slots and are printed by a serial scan, so stdout and the
- * CSV are bit-identical at any job count (the per-report `digest`
- * column makes a diff between --jobs runs conclusive).
+ * A third phase exercises the disaggregated scheduler: every request
+ * arrives in the prefill phase (its prompt is ingested by a
+ * full-sequence prefill iteration before decode), a fraction is
+ * high-priority, and each design serves the same trace with operator-
+ * boundary preemption on and off — the preemption column and the TTFT
+ * tail show what parking the victim iteration buys.
+ *
+ * Replica cells of every grid are independent: they fan out over
+ * util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into per-cell slots
+ * and are printed by a serial scan, so stdout and the CSV are
+ * bit-identical at any job count (the per-report `digest` column
+ * makes a diff between --jobs runs conclusive).
  */
 #include <cstdio>
 #include <memory>
@@ -148,5 +155,65 @@ main(int argc, char** argv)
                 ", " + std::to_string(requests) + " reqs x " +
                 std::to_string(tokens) + " tok)");
     table.write_csv("serving");
+
+    // Phase 3: disaggregated prefill/decode serving with priority
+    // preemption, on vs off, at a fixed 0.6x-capacity open-loop load.
+    const int prefill_batch = fast ? 2 : 4;
+    const double high_frac = 0.05;
+    std::vector<std::unique_ptr<compiler::ServingCompiler>> prefills;
+    for (auto mode : modes) {
+        compiler::CompileOptions copts;
+        copts.mode = mode;
+        copts.max_orders = fast ? 6 : 24;
+        prefills.push_back(std::make_unique<compiler::ServingCompiler>(
+            model, seq, chip, copts, &cache, 1,
+            compiler::ServingCompiler::Options::prefill()));
+    }
+    struct DisaggCell {
+        int mode;
+        bool preempt;
+        runtime::ServingReport rep;
+    };
+    std::vector<DisaggCell> dcells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        dcells.push_back({static_cast<int>(m), true, {}});
+        dcells.push_back({static_cast<int>(m), false, {}});
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(dcells.size()), [&](int c) {
+            int m = dcells[c].mode;
+            double rate = 0.6 * closed[m].tokens_per_s / tokens;
+            auto trace = runtime::make_request_trace(
+                runtime::ArrivalTrace::poisson(requests, rate,
+                                               /*seed=*/13),
+                tokens, /*prefill_frac=*/1.0, high_frac, /*seed=*/13);
+            runtime::ServerOptions dopts = sopts;
+            dopts.max_prefill_batch = prefill_batch;
+            dopts.preempt = dcells[c].preempt;
+            runtime::Server server(compilers[m]->machine(), dopts);
+            dcells[c].rep = server.serve(
+                trace, [&](int b) { return prefills[m]->program(b); },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    util::Table disagg({"design", "preempt", "p50(ms)", "p95(ms)",
+                        "ttft p50(ms)", "ttft p95(ms)", "p95 high(ms)",
+                        "tokens/s", "preempts", "digest"});
+    for (const DisaggCell& cell : dcells) {
+        disagg.add(compilers[cell.mode]->mode(),
+                   cell.preempt ? "on" : "off",
+                   runtime::ms(cell.rep.p50_latency),
+                   runtime::ms(cell.rep.p95_latency),
+                   runtime::ms(cell.rep.p50_ttft),
+                   runtime::ms(cell.rep.p95_ttft),
+                   runtime::ms(cell.rep.p95_high_latency),
+                   cell.rep.tokens_per_s, cell.rep.preemptions,
+                   digest(cell.rep));
+    }
+    disagg.print("disaggregated prefill/decode at 0.6x capacity (" +
+                 std::to_string(static_cast<int>(high_frac * 100)) +
+                 "% high-priority, prefill batch " +
+                 std::to_string(prefill_batch) + ")");
+    disagg.write_csv("serving_disagg");
     return 0;
 }

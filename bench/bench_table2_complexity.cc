@@ -17,9 +17,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elk;
+    const int n_jobs = bench::jobs(argc, argv);
     auto cfg = hw::ChipConfig::ipu_pod4();
 
     util::Table table({"model", "C", "H", "P", "K", "N"});
@@ -32,7 +33,7 @@ main()
                         "DiT-XL");
 
     for (const auto& [graph, name] : graphs) {
-        compiler::Compiler comp(graph, cfg);
+        compiler::Compiler comp(graph, cfg, nullptr, n_jobs);
         compiler::CompileOptions opts;
         opts.mode = compiler::Mode::kElkFull;
         opts.max_orders = 4;  // stats only; skip the deep order search

@@ -1,16 +1,23 @@
 /**
  * @file
- * LLM serving scenario: drive the event-driven serving runtime with an
- * arrival trace and compare all five designs (Basic, Static, Elk-Dyn,
- * Elk-Full, Ideal) on tail latency and goodput. Decode iterations run
- * back to back on one resumable engine state, so steady-state steps
- * reuse weights left resident in SRAM instead of re-preloading them.
+ * LLM serving scenario: drive the disaggregated serving runtime with
+ * an arrival trace and compare all five designs (Basic, Static,
+ * Elk-Dyn, Elk-Full, Ideal) on tail latency, time-to-first-token, and
+ * goodput. Prefill-phase requests are batched into full-sequence
+ * prefill iterations; decode iterations run back to back on the same
+ * resumable engine state, so steady-state steps reuse weights left
+ * resident in SRAM instead of re-preloading them. High-priority
+ * requests preempt running all-normal iterations at the next operator
+ * boundary.
  *
- *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens]
- *   $ ./llm_serving Llama2-13B 32 2048 64 0 4
+ *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
+ *                   [prefill_frac] [high_frac]
+ *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
+ * prefill_frac (default 0) tags that fraction of requests as
+ * prefill-phase; high_frac (default 0) as high-priority.
  */
 #include <cstdio>
 #include <string>
@@ -42,6 +49,14 @@ main(int argc, char** argv)
     int tokens = argc > 6
                      ? util::parse_int_arg(argv[6], "tokens", 1, 1 << 20)
                      : 4;
+    double prefill_frac =
+        argc > 7
+            ? util::parse_double_arg(argv[7], "prefill_frac", 0.0, 1.0)
+            : 0.0;
+    double high_frac =
+        argc > 8
+            ? util::parse_double_arg(argv[8], "high_frac", 0.0, 1.0)
+            : 0.0;
 
     hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
     graph::ModelConfig model = graph::model_by_name(name);
@@ -49,22 +64,26 @@ main(int argc, char** argv)
         rate > 0 ? runtime::ArrivalTrace::poisson(requests, rate,
                                                   /*seed=*/42)
                  : runtime::ArrivalTrace::closed_loop(requests);
+    std::vector<runtime::Request> trace = runtime::make_request_trace(
+        arrivals, tokens, prefill_frac, high_frac, /*seed=*/42);
     std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
                 "HBM\n",
                 name.c_str(), batch, seq, chip.total_cores(),
                 chip.hbm_total_bw / 1e12);
     if (rate > 0) {
-        std::printf("%d requests x %d tokens, Poisson @ %g req/s\n\n",
+        std::printf("%d requests x %d tokens, Poisson @ %g req/s",
                     requests, tokens, rate);
     } else {
-        std::printf("%d requests x %d tokens, closed loop\n\n",
-                    requests, tokens);
+        std::printf("%d requests x %d tokens, closed loop", requests,
+                    tokens);
     }
+    std::printf(" (prefill %g%%, high-priority %g%%)\n\n",
+                prefill_frac * 100, high_frac * 100);
 
     compiler::PlanCache cache;
     util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
-                       "tokens/s", "hbm_util", "queue",
-                       "preload first(ms)", "steady(ms)"});
+                       "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
+                       "preempts", "preload first(ms)", "steady(ms)"});
 
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
@@ -73,16 +92,22 @@ main(int argc, char** argv)
         compiler::CompileOptions copts;
         copts.mode = mode;
         compiler::ServingCompiler sc(model, seq, chip, copts, &cache);
+        compiler::ServingCompiler pc(
+            model, seq, chip, copts, &cache, /*jobs=*/1,
+            compiler::ServingCompiler::Options::prefill());
         runtime::ServerOptions sopts;
         sopts.max_batch = batch;
         sopts.tokens_per_request = tokens;
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
-            arrivals, [&](int b) { return sc.program(b); });
+            trace, [&](int b) { return pc.program(b); },
+            [&](int b) { return sc.program(b); });
         table.add(sc.mode(), runtime::ms(rep.p50_latency),
                   runtime::ms(rep.p95_latency),
-                  runtime::ms(rep.p99_latency), rep.tokens_per_s,
+                  runtime::ms(rep.p99_latency),
+                  runtime::ms(rep.p95_ttft), rep.tokens_per_s,
                   runtime::pct(rep.hbm_util), rep.mean_queue_depth,
+                  rep.preemptions,
                   runtime::ms(rep.first_decode_preload),
                   runtime::ms(rep.steady_decode_preload));
     }

@@ -131,4 +131,16 @@ PlanCache::stats() const
     return stats_;
 }
 
+std::vector<std::string>
+PlanCache::keys() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, result] : entries_) {
+        out.push_back(key.to_string());
+    }
+    return out;
+}
+
 }  // namespace elk::compiler

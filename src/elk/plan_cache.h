@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "elk/compiler.h"
 #include "graph/graph.h"
@@ -70,6 +71,11 @@ class PlanCache {
                 std::shared_ptr<const CompileResult> result);
 
     Stats stats() const;
+
+    /// Human-readable key of every cached entry, in key order — the
+    /// diagnostic view drivers print to show what a serving run
+    /// actually compiled (e.g. prefill vs decode plan partitions).
+    std::vector<std::string> keys() const;
 
   private:
     mutable std::mutex mu_;

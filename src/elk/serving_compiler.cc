@@ -12,15 +12,27 @@ ServingCompiler::ServingCompiler(graph::ModelConfig model, int seq,
                                  const hw::ChipConfig& cfg,
                                  CompileOptions opts, PlanCache* cache,
                                  int jobs)
+    : ServingCompiler(std::move(model), seq, cfg, std::move(opts),
+                      cache, jobs, Options())
+{
+}
+
+ServingCompiler::ServingCompiler(graph::ModelConfig model, int seq,
+                                 const hw::ChipConfig& cfg,
+                                 CompileOptions opts, PlanCache* cache,
+                                 int jobs, Options serving_opts)
     : model_(std::move(model)),
       seq_(seq),
       cfg_(cfg),
       opts_(std::move(opts)),
       cache_(cache),
       jobs_(jobs),
+      serving_opts_(serving_opts),
       machine_(cfg_, opts_.mode == Mode::kIdeal)
 {
     util::check(seq_ >= 1, "ServingCompiler: seq must be >= 1");
+    util::check(serving_opts_.op_id_offset >= 0,
+                "ServingCompiler: op id offset must be >= 0");
 }
 
 std::shared_ptr<const sim::SimProgram>
@@ -35,15 +47,23 @@ ServingCompiler::program(int batch)
 
     Entry entry;
     entry.graph = std::make_unique<graph::Graph>(
-        graph::build_decode_graph(model_, batch, seq_));
+        serving_opts_.kind == GraphKind::kPrefill
+            ? graph::build_forward_graph(model_, batch, seq_)
+            : graph::build_decode_graph(model_, batch, seq_));
     entry.compiler = std::make_unique<Compiler>(*entry.graph, cfg_,
                                                 nullptr, jobs_);
     entry.compiler->set_plan_cache(cache_);
     CompileResult compiled = entry.compiler->compile(opts_);
     compile_seconds_ += compiled.compile_seconds;
-    entry.program = std::make_shared<sim::SimProgram>(
-        runtime::lower_to_sim(*entry.graph, compiled.plan,
-                              entry.compiler->context()));
+    sim::SimProgram lowered = runtime::lower_to_sim(
+        *entry.graph, compiled.plan, entry.compiler->context());
+    // Namespacing happens after lowering so the plan cache still keys
+    // on the structural graph (the offset never changes the plan).
+    for (sim::SimOp& op : lowered.ops) {
+        op.op_id += serving_opts_.op_id_offset;
+    }
+    entry.program =
+        std::make_shared<sim::SimProgram>(std::move(lowered));
     auto program = entry.program;
     entries_.emplace(batch, std::move(entry));
     return program;

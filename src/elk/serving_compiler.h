@@ -2,12 +2,20 @@
  * @file
  * ServingCompiler: the compile side of the serving stack.
  *
- * The Server asks for "the program for batch bucket b" once per decode
+ * The Server asks for "the program for batch bucket b" once per
  * iteration; this facade memoizes the whole chain behind that call —
- * decode graph construction, Compiler analysis, the (PlanCache-backed)
+ * graph construction, Compiler analysis, the (PlanCache-backed)
  * compile, and lowering to the simulator program — per batch size.
  * Returning the same SimProgram object for a repeated bucket is what
  * lets the engine keep weights resident across iterations.
+ *
+ * A serving compiler builds one graph family: decode steps
+ * (GraphKind::kDecode, one token per request against a KV cache) or
+ * prefill (GraphKind::kPrefill, the full-sequence forward shape that
+ * ingests a prompt). Disaggregated serving runs one compiler per
+ * family over a shared PlanCache, with disjoint op-id namespaces
+ * (Options::op_id_offset) so both families can share one EngineState
+ * residency pool without op-id aliasing.
  *
  * Thread-safe: replica sweeps share one instance (and its PlanCache)
  * across worker threads; compiles are serialized by an internal lock
@@ -28,8 +36,37 @@
 
 namespace elk::compiler {
 
+/// Which graph family a ServingCompiler builds per batch bucket.
+enum class GraphKind {
+    kDecode,   ///< one-token decode step with a KV cache of seq.
+    kPrefill,  ///< full-sequence forward pass over the prompt.
+};
+
 class ServingCompiler {
   public:
+    /// Conventional op-id offset for the prefill family: far above any
+    /// real graph's operator count, so prefill and decode programs
+    /// never alias in a shared residency pool.
+    static constexpr int kPrefillIdOffset = 1 << 20;
+
+    /// Serving-specific knobs (the CompileOptions cover the search).
+    struct Options {
+        GraphKind kind = GraphKind::kDecode;
+        /// Added to every lowered SimOp id (see kPrefillIdOffset).
+        int op_id_offset = 0;
+
+        /// The prefill family with its conventional id namespace —
+        /// always pair the two, or prefill and decode entries alias
+        /// in a shared residency pool.
+        static Options prefill()
+        {
+            Options o;
+            o.kind = GraphKind::kPrefill;
+            o.op_id_offset = kPrefillIdOffset;
+            return o;
+        }
+    };
+
     /**
      * @p cache may be nullptr (no cross-instance amortization) and
      * must outlive the serving compiler otherwise. @p jobs is the
@@ -39,8 +76,13 @@ class ServingCompiler {
     ServingCompiler(graph::ModelConfig model, int seq,
                     const hw::ChipConfig& cfg, CompileOptions opts,
                     PlanCache* cache, int jobs = 1);
+    ServingCompiler(graph::ModelConfig model, int seq,
+                    const hw::ChipConfig& cfg, CompileOptions opts,
+                    PlanCache* cache, int jobs, Options serving_opts);
 
-    /// Compiled decode program for @p batch (memoized).
+    /// Compiled program for @p batch requests (memoized). For the
+    /// prefill family, @p batch is the number of prompts ingested
+    /// together, each at the compiler's sequence length.
     std::shared_ptr<const sim::SimProgram> program(int batch);
 
     /// The machine serving runs on (split fabric for Ideal mode).
@@ -51,6 +93,9 @@ class ServingCompiler {
 
     /// Design-mode name of the compiled plans.
     std::string mode() const { return mode_name(opts_.mode); }
+
+    /// The graph family this compiler builds.
+    GraphKind kind() const { return serving_opts_.kind; }
 
   private:
     struct Entry {
@@ -65,6 +110,7 @@ class ServingCompiler {
     CompileOptions opts_;
     PlanCache* cache_;
     int jobs_;
+    Options serving_opts_;
     sim::Machine machine_;
     mutable std::mutex mu_;
     std::map<int, Entry> entries_;

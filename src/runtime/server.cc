@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -17,6 +18,8 @@ using util::append_bits;
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 /// Smallest bucket covering @p need; the largest one when none does.
 int
 pick_bucket(const std::vector<int>& buckets, int need)
@@ -27,6 +30,453 @@ pick_bucket(const std::vector<int>& buckets, int need)
         }
     }
     return buckets.back();
+}
+
+/// Default bucket ladder: powers of two up to @p max, validated.
+void
+finalize_buckets(std::vector<int>& buckets, int max, const char* what)
+{
+    if (buckets.empty()) {
+        for (int b = 1; b < max; b *= 2) {
+            buckets.push_back(b);
+        }
+        buckets.push_back(max);
+    }
+    std::sort(buckets.begin(), buckets.end());
+    util::check(buckets.front() >= 1, std::string("Server: ") + what +
+                                          " buckets must be positive");
+    util::check(buckets.back() == max,
+                std::string("Server: largest ") + what +
+                    " bucket must equal the class's max batch");
+}
+
+sim::EngineState::Options
+engine_options(const ServerOptions& opts)
+{
+    sim::EngineState::Options eopts;
+    eopts.policy = opts.residency_policy;
+    return eopts;
+}
+
+/**
+ * One serve() call of the disaggregated scheduler. Requests wait in
+ * four queues — (prefill | decode) x (high | normal) — and every
+ * iteration serves one class: prefill-first (a waiting prompt blocks
+ * nothing longer than one iteration and unlocks its decode work),
+ * high before normal within a class. The decode batch itself is
+ * iteration-level: members persist across decode iterations until
+ * their tokens are done. High-priority arrivals preempt a running
+ * all-normal iteration at the next step() boundary via
+ * EngineState::park(): one iteration serving only already-queued
+ * high-priority work runs on the same state, then the victim resumes
+ * where it stopped. On a degenerate trace (decode-only, all normal)
+ * this loop performs exactly the PR 2 sequence of engine and
+ * accumulator operations, so its report is bit-identical to the plain
+ * serve() overload — asserted in tests/preempt_test.cc.
+ */
+class DisaggRun {
+  public:
+    DisaggRun(const sim::Machine& machine, const ServerOptions& opts,
+              const std::vector<Request>& requests,
+              const Server::ProgramSource& prefill_programs,
+              const Server::ProgramSource& decode_programs)
+        : machine_(machine),
+          opts_(opts),
+          requests_(requests),
+          prefill_src_(prefill_programs),
+          decode_src_(decode_programs),
+          state_(machine, engine_options(opts))
+    {
+    }
+
+    ServingReport run();
+
+  private:
+    struct IterOutcome {
+        sim::SimResult r;
+        /// Wall seconds the iteration actually ran (interrupting
+        /// iterations excluded, so durations partition the makespan).
+        double duration = 0.0;
+    };
+
+    int total_requests() const
+    {
+        return static_cast<int>(requests_.size());
+    }
+
+    size_t waiting_total() const
+    {
+        return pre_hi_.size() + pre_lo_.size() + dec_hi_.size() +
+               dec_lo_.size();
+    }
+
+    /// Queues every request that has arrived by the current clock.
+    void admit();
+    /// Arrival time of the next unadmitted high-priority request.
+    void refresh_next_high();
+    /// Claims up to @p cap members from @p hi (then @p lo, unless
+    /// high_only) in queue order.
+    std::vector<int> claim(std::deque<int>& hi, std::deque<int>& lo,
+                           int cap, bool high_only);
+    /// begin/step/finish one program; steps watch for preemption when
+    /// @p can_preempt.
+    IterOutcome execute(const sim::SimProgram& program, bool can_preempt);
+    /// Parks the running iteration, serves queued high-priority work
+    /// for one iteration, resumes; returns the wall seconds consumed.
+    double preempt_for_high();
+    /// Shared per-iteration accounting (means are order-sensitive:
+    /// this mirrors the plain serve() loop exactly). @p nested marks
+    /// a preemption iteration, which must not size the residency
+    /// budget — its working set (a mini batch) is not representative.
+    void account(const IterOutcome& o, bool decode, bool nested);
+    void run_prefill_iteration(bool high_only, bool interruptible);
+    void run_decode_iteration(bool interruptible);
+    /// Nested decode iteration for high-priority requests only, while
+    /// the preempted victim is parked.
+    void run_decode_mini_high();
+    void finalize();
+
+    const sim::Machine& machine_;
+    const ServerOptions& opts_;
+    const std::vector<Request>& requests_;
+    const Server::ProgramSource& prefill_src_;
+    const Server::ProgramSource& decode_src_;
+    sim::EngineState state_;
+
+    std::vector<int> running_;  ///< decode batch (request indices).
+    std::deque<int> pre_hi_, pre_lo_, dec_hi_, dec_lo_;
+    std::vector<int> tokens_left_;
+    std::vector<double> latencies_;
+    std::vector<double> ttfts_;
+    int next_arrival_ = 0;
+    int next_high_idx_ = 0;
+    int completed_ = 0;
+    double now_ = 0.0;
+    double next_high_arrival_ = kInf;
+
+    ServingReport rep_;
+    bool budget_set_ = false;
+    util::WeightedMean depth_mean_;
+    util::WeightedMean hbm_mean_;
+    util::WeightedMean noc_mean_;
+    double steady_preload_sum_ = 0.0;
+    int steady_iterations_ = 0;
+};
+
+void
+DisaggRun::admit()
+{
+    const int n = total_requests();
+    while (next_arrival_ < n &&
+           requests_[next_arrival_].arrival <= now_) {
+        int r = next_arrival_++;
+        const Request& req = requests_[r];
+        if (req.phase == Phase::kPrefill) {
+            (req.priority == Priority::kHigh ? pre_hi_ : pre_lo_)
+                .push_back(r);
+        } else {
+            (req.priority == Priority::kHigh ? dec_hi_ : dec_lo_)
+                .push_back(r);
+        }
+    }
+    refresh_next_high();
+}
+
+void
+DisaggRun::refresh_next_high()
+{
+    // next_high_idx_ only moves forward (next_arrival_ is monotone),
+    // so the whole serve scans each request once — O(1) amortized.
+    if (next_high_idx_ < next_arrival_) {
+        next_high_idx_ = next_arrival_;
+    }
+    while (next_high_idx_ < total_requests() &&
+           requests_[next_high_idx_].priority != Priority::kHigh) {
+        ++next_high_idx_;
+    }
+    next_high_arrival_ = next_high_idx_ < total_requests()
+                             ? requests_[next_high_idx_].arrival
+                             : kInf;
+}
+
+std::vector<int>
+DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
+                 bool high_only)
+{
+    std::vector<int> members;
+    while (!hi.empty() && static_cast<int>(members.size()) < cap) {
+        members.push_back(hi.front());
+        hi.pop_front();
+    }
+    if (!high_only) {
+        while (!lo.empty() && static_cast<int>(members.size()) < cap) {
+            members.push_back(lo.front());
+            lo.pop_front();
+        }
+    }
+    return members;
+}
+
+DisaggRun::IterOutcome
+DisaggRun::execute(const sim::SimProgram& program, bool can_preempt)
+{
+    double start = now_;
+    double interrupted = 0.0;
+    state_.begin(program);
+    while (state_.step()) {
+        if (can_preempt && opts_.preempt &&
+            next_high_arrival_ <= state_.now()) {
+            interrupted += preempt_for_high();
+        }
+    }
+    IterOutcome o;
+    o.r = state_.finish();
+    now_ = state_.now();
+    o.duration = now_ - start - interrupted;
+    return o;
+}
+
+double
+DisaggRun::preempt_for_high()
+{
+    sim::EngineState::Parked parked = state_.park();
+    const double park_t = state_.now();
+    now_ = park_t;
+    admit();  // the triggering high-priority request joins its queue
+    if (!pre_hi_.empty()) {
+        ++rep_.preemptions;
+        run_prefill_iteration(/*high_only=*/true,
+                              /*interruptible=*/false);
+    } else if (!dec_hi_.empty()) {
+        ++rep_.preemptions;
+        run_decode_mini_high();
+    }
+    state_.resume(std::move(parked));
+    return state_.now() - park_t;
+}
+
+void
+DisaggRun::account(const IterOutcome& o, bool decode, bool nested)
+{
+    ++rep_.iterations;
+    // The residency budget is the SRAM slack left by the first cold
+    // full iteration's working set. A nested preemption iteration can
+    // be accounted before its victim: skip it here — a mini batch's
+    // small peak would oversize the budget (and a nested prefill
+    // could zero it for good).
+    if (!budget_set_ && !nested && opts_.keep_resident) {
+        budget_set_ = true;
+        uint64_t usable = machine_.config().usable_sram_per_core();
+        state_.set_residency_budget(usable > o.r.peak_sram_per_core
+                                        ? usable - o.r.peak_sram_per_core
+                                        : 0);
+    }
+    if (decode) {
+        ++rep_.decode_iterations;
+        if (rep_.decode_iterations == 1) {
+            rep_.first_decode_preload = o.r.preload_only;
+        } else {
+            steady_preload_sum_ += o.r.preload_only;
+            ++steady_iterations_;
+        }
+    } else {
+        ++rep_.prefill_iterations;
+    }
+    hbm_mean_.add(o.duration, o.r.hbm_util);
+    noc_mean_.add(o.duration, o.r.noc_util);
+    depth_mean_.add(o.duration, static_cast<double>(waiting_total()));
+    rep_.peak_sram_per_core =
+        std::max(rep_.peak_sram_per_core, o.r.peak_sram_per_core);
+    rep_.memory_exceeded |= o.r.memory_exceeded;
+}
+
+void
+DisaggRun::run_prefill_iteration(bool high_only, bool interruptible)
+{
+    std::vector<int> members =
+        claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only);
+    rep_.peak_queue_depth = std::max(
+        rep_.peak_queue_depth, static_cast<int>(waiting_total()));
+    int bucket = pick_bucket(opts_.prefill_buckets,
+                             static_cast<int>(members.size()));
+    std::shared_ptr<const sim::SimProgram> program =
+        prefill_src_ ? prefill_src_(bucket) : nullptr;
+    util::check(program != nullptr,
+                "Server: prefill ProgramSource returned no program");
+
+    bool protected_iter = false;
+    for (int r : members) {
+        protected_iter |= requests_[r].priority == Priority::kHigh;
+    }
+    IterOutcome o = execute(*program, interruptible && !protected_iter);
+    account(o, /*decode=*/false, /*nested=*/high_only);
+
+    // Prompt ingested: record TTFT and hand the request to the decode
+    // class (high-priority members keep their class).
+    for (int r : members) {
+        ttfts_.push_back(now_ - requests_[r].arrival);
+        (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
+            .push_back(r);
+    }
+}
+
+void
+DisaggRun::run_decode_iteration(bool interruptible)
+{
+    // Iteration-level batching: waiting requests claim free batch
+    // slots at the iteration boundary, high-priority first.
+    std::vector<int> joined =
+        claim(dec_hi_, dec_lo_,
+              opts_.max_batch - static_cast<int>(running_.size()),
+              /*high_only=*/false);
+    running_.insert(running_.end(), joined.begin(), joined.end());
+    rep_.peak_queue_depth = std::max(
+        rep_.peak_queue_depth, static_cast<int>(waiting_total()));
+
+    int bucket = pick_bucket(opts_.batch_buckets,
+                             static_cast<int>(running_.size()));
+    std::shared_ptr<const sim::SimProgram> program =
+        decode_src_ ? decode_src_(bucket) : nullptr;
+    util::check(program != nullptr,
+                "Server: decode ProgramSource returned no program");
+
+    bool protected_iter = false;
+    for (int r : running_) {
+        protected_iter |= requests_[r].priority == Priority::kHigh;
+    }
+    IterOutcome o = execute(*program, interruptible && !protected_iter);
+    account(o, /*decode=*/true, /*nested=*/false);
+    rep_.tokens += static_cast<int64_t>(running_.size());
+
+    // Every running request produced one token this iteration.
+    for (auto it = running_.begin(); it != running_.end();) {
+        if (--tokens_left_[*it] == 0) {
+            latencies_[*it] = now_ - requests_[*it].arrival;
+            ++completed_;
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+DisaggRun::run_decode_mini_high()
+{
+    std::vector<int> mini =
+        claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/true);
+    rep_.peak_queue_depth = std::max(
+        rep_.peak_queue_depth, static_cast<int>(waiting_total()));
+    int bucket = pick_bucket(opts_.batch_buckets,
+                             static_cast<int>(mini.size()));
+    std::shared_ptr<const sim::SimProgram> program =
+        decode_src_ ? decode_src_(bucket) : nullptr;
+    util::check(program != nullptr,
+                "Server: decode ProgramSource returned no program");
+
+    IterOutcome o = execute(*program, /*can_preempt=*/false);
+    account(o, /*decode=*/true, /*nested=*/true);
+    rep_.tokens += static_cast<int64_t>(mini.size());
+
+    // Completions leave; survivors return to the head of the
+    // high-priority queue and merge into the running batch at the
+    // next boundary.
+    std::vector<int> survivors;
+    for (int r : mini) {
+        if (--tokens_left_[r] == 0) {
+            latencies_[r] = now_ - requests_[r].arrival;
+            ++completed_;
+        } else {
+            survivors.push_back(r);
+        }
+    }
+    for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) {
+        dec_hi_.push_front(*it);
+    }
+}
+
+void
+DisaggRun::finalize()
+{
+    const int n = total_requests();
+    rep_.makespan = now_;
+    rep_.tokens_per_s =
+        now_ > 0 ? static_cast<double>(rep_.tokens) / now_ : 0.0;
+    rep_.mean_queue_depth = depth_mean_.value();
+    rep_.hbm_util = hbm_mean_.value();
+    rep_.noc_util = noc_mean_.value();
+    rep_.steady_decode_preload =
+        steady_iterations_ > 0
+            ? steady_preload_sum_ / steady_iterations_
+            : rep_.first_decode_preload;
+    if (n > 0) {
+        rep_.mean_latency = util::mean(latencies_);
+        rep_.p50_latency = util::percentile(latencies_, 50.0);
+        rep_.p95_latency = util::percentile(latencies_, 95.0);
+        rep_.p99_latency = util::percentile(latencies_, 99.0);
+        rep_.max_latency =
+            *std::max_element(latencies_.begin(), latencies_.end());
+    }
+    rep_.resident_bytes = state_.resident_bytes();
+    rep_.preloads_skipped = state_.resident_hits();
+
+    if (!ttfts_.empty()) {
+        rep_.p50_ttft = util::percentile(ttfts_, 50.0);
+        rep_.p95_ttft = util::percentile(ttfts_, 95.0);
+        rep_.max_ttft =
+            *std::max_element(ttfts_.begin(), ttfts_.end());
+    }
+    std::vector<double> high;
+    for (int i = 0; i < n; ++i) {
+        if (requests_[i].priority == Priority::kHigh) {
+            high.push_back(latencies_[i]);
+        }
+    }
+    rep_.high_priority_requests = static_cast<int>(high.size());
+    if (!high.empty()) {
+        rep_.p95_high_latency = util::percentile(high, 95.0);
+    }
+}
+
+ServingReport
+DisaggRun::run()
+{
+    const int n = total_requests();
+    tokens_left_.resize(n);
+    latencies_.assign(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        const Request& req = requests_[i];
+        util::check(req.arrival >= 0 &&
+                        (i == 0 ||
+                         req.arrival >= requests_[i - 1].arrival),
+                    "Server: requests must be sorted and non-negative");
+        util::check(req.decode_tokens >= 1,
+                    "Server: decode_tokens must be >= 1");
+        tokens_left_[i] = req.decode_tokens;
+    }
+    rep_.requests = n;
+
+    while (completed_ < n) {
+        admit();
+        if (running_.empty() && waiting_total() == 0) {
+            // Idle: wait for the next arrival (queue depth is zero).
+            double t_next = requests_[next_arrival_].arrival;
+            if (t_next > now_) {
+                depth_mean_.add(t_next - now_, 0.0);
+                state_.run_to(t_next);
+                now_ = t_next;
+            }
+            continue;
+        }
+        if (!pre_hi_.empty() || !pre_lo_.empty()) {
+            run_prefill_iteration(/*high_only=*/false,
+                                  /*interruptible=*/true);
+        } else {
+            run_decode_iteration(/*interruptible=*/true);
+        }
+    }
+    finalize();
+    return rep_;
 }
 
 }  // namespace
@@ -59,13 +509,72 @@ ArrivalTrace::poisson(int n, double rate_per_s, uint64_t seed)
     return arrivals;
 }
 
+std::vector<Request>
+decode_requests(const std::vector<double>& arrivals, int decode_tokens)
+{
+    std::vector<Request> out;
+    out.reserve(arrivals.size());
+    for (double a : arrivals) {
+        Request r;
+        r.arrival = a;
+        r.phase = Phase::kDecode;
+        r.decode_tokens = decode_tokens;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+prefill_requests(const std::vector<double>& arrivals, int decode_tokens)
+{
+    std::vector<Request> out;
+    out.reserve(arrivals.size());
+    for (double a : arrivals) {
+        Request r;
+        r.arrival = a;
+        r.phase = Phase::kPrefill;
+        r.decode_tokens = decode_tokens;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+make_request_trace(const std::vector<double>& arrivals,
+                   int decode_tokens, double prefill_frac,
+                   double high_frac, uint64_t seed)
+{
+    util::check(prefill_frac >= 0.0 && prefill_frac <= 1.0,
+                "make_request_trace: prefill fraction out of [0,1]");
+    util::check(high_frac >= 0.0 && high_frac <= 1.0,
+                "make_request_trace: high fraction out of [0,1]");
+    std::mt19937_64 rng(seed);
+    auto draw = [&rng] {
+        return static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+    };
+    std::vector<Request> out;
+    out.reserve(arrivals.size());
+    for (double a : arrivals) {
+        Request r;
+        r.arrival = a;
+        r.decode_tokens = decode_tokens;
+        r.phase =
+            draw() < prefill_frac ? Phase::kPrefill : Phase::kDecode;
+        r.priority =
+            draw() < high_frac ? Priority::kHigh : Priority::kNormal;
+        out.push_back(r);
+    }
+    return out;
+}
+
 std::string
 ServingReport::summary() const
 {
     std::ostringstream out;
     out << "served " << requests << " requests / " << tokens
-        << " tokens in " << iterations << " iterations, makespan "
-        << ms(makespan) << " ms\n"
+        << " tokens in " << iterations << " iterations ("
+        << prefill_iterations << " prefill + " << decode_iterations
+        << " decode), makespan " << ms(makespan) << " ms\n"
         << "  latency ms   : p50 " << ms(p50_latency) << "  p95 "
         << ms(p95_latency) << "  p99 " << ms(p99_latency) << "  max "
         << ms(max_latency) << "\n"
@@ -78,6 +587,15 @@ ServingReport::summary() const
         << ", steady " << ms(steady_decode_preload) << " ("
         << resident_bytes / 1024 << " KB/core resident, "
         << preloads_skipped << " preloads skipped)";
+    if (prefill_iterations > 0) {
+        out << "\n  ttft ms      : p50 " << ms(p50_ttft) << "  p95 "
+            << ms(p95_ttft) << "  max " << ms(max_ttft);
+    }
+    if (high_priority_requests > 0) {
+        out << "\n  high priority: " << high_priority_requests
+            << " requests, p95 " << ms(p95_high_latency) << " ms, "
+            << preemptions << " preemptions";
+    }
     return out.str();
 }
 
@@ -85,7 +603,7 @@ std::string
 ServingReport::serialize_bits() const
 {
     std::string out;
-    out.reserve(160);
+    out.reserve(224);
     append_bits(out, requests);
     append_bits(out, iterations);
     append_bits(out, tokens);
@@ -106,6 +624,14 @@ ServingReport::serialize_bits() const
     append_bits(out, steady_decode_preload);
     append_bits(out, resident_bytes);
     append_bits(out, preloads_skipped);
+    append_bits(out, prefill_iterations);
+    append_bits(out, decode_iterations);
+    append_bits(out, preemptions);
+    append_bits(out, p50_ttft);
+    append_bits(out, p95_ttft);
+    append_bits(out, max_ttft);
+    append_bits(out, high_priority_requests);
+    append_bits(out, p95_high_latency);
     return out;
 }
 
@@ -115,19 +641,19 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
     util::check(opts_.max_batch >= 1, "Server: max_batch must be >= 1");
     util::check(opts_.tokens_per_request >= 1,
                 "Server: tokens_per_request must be >= 1");
-    if (opts_.batch_buckets.empty()) {
-        for (int b = 1; b < opts_.max_batch; b *= 2) {
-            opts_.batch_buckets.push_back(b);
-        }
-        opts_.batch_buckets.push_back(opts_.max_batch);
-    }
-    std::sort(opts_.batch_buckets.begin(), opts_.batch_buckets.end());
-    util::check(opts_.batch_buckets.front() >= 1,
-                "Server: batch buckets must be positive");
-    util::check(opts_.batch_buckets.back() == opts_.max_batch,
-                "Server: largest batch bucket must equal max_batch");
+    util::check(opts_.max_prefill_batch >= 1,
+                "Server: max_prefill_batch must be >= 1");
+    finalize_buckets(opts_.batch_buckets, opts_.max_batch, "batch");
+    finalize_buckets(opts_.prefill_buckets, opts_.max_prefill_batch,
+                     "prefill");
 }
 
+// NOTE: this loop intentionally does NOT delegate to DisaggRun. It is
+// the PR 2 reference implementation, kept verbatim so the bit-identity
+// assertion in tests/preempt_test.cc (DisaggRun on a degenerate trace
+// == this loop, across all five modes) anchors the disaggregated
+// scheduler to an independent baseline. An accounting change must be
+// made in both loops — the test enforcing that is the point.
 ServingReport
 Server::serve(const std::vector<double>& arrivals,
               const ProgramSource& programs) const
@@ -143,7 +669,7 @@ Server::serve(const std::vector<double>& arrivals,
     // working-set peak; the residency budget is then the leftover
     // SRAM slack, so retained weights never contend with the working
     // set and survive whole decode cycles.
-    sim::EngineState state(machine_, sim::EngineState::Options{});
+    sim::EngineState state(machine_, engine_options(opts_));
 
     struct Active {
         int req = -1;
@@ -260,7 +786,18 @@ Server::serve(const std::vector<double>& arrivals,
     }
     rep.resident_bytes = state.resident_bytes();
     rep.preloads_skipped = state.resident_hits();
+    rep.decode_iterations = rep.iterations;
     return rep;
+}
+
+ServingReport
+Server::serve(const std::vector<Request>& requests,
+              const ProgramSource& prefill_programs,
+              const ProgramSource& decode_programs) const
+{
+    DisaggRun run(machine_, opts_, requests, prefill_programs,
+                  decode_programs);
+    return run.run();
 }
 
 }  // namespace elk::runtime

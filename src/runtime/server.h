@@ -1,23 +1,34 @@
 /**
  * @file
- * The serving runtime: a request queue on top of the resumable
+ * The serving runtime: a request scheduler on top of the resumable
  * simulator engine.
  *
  * A Server turns the one-shot "compile a decode step, simulate it"
  * flow into continuous serving: requests arrive on a trace (closed
- * loop or Poisson open loop), are admitted into decode iterations with
- * iteration-level batching (a request joins the running batch at the
- * next iteration boundary, occupies one slot for one token per
- * iteration, and leaves when its tokens are done), and every iteration
- * executes a compiled SimProgram on one persistent EngineState — so
- * weights kept resident across back-to-back iterations skip their HBM
- * preload, the steady-state decode fast path.
+ * loop or Poisson open loop), are admitted into iterations with
+ * iteration-level batching, and every iteration executes a compiled
+ * SimProgram on one persistent EngineState — so weights kept resident
+ * across back-to-back iterations skip their HBM preload, the
+ * steady-state decode fast path.
+ *
+ * Serving is disaggregated: requests carry a phase — prefill (the
+ * prompt must be ingested by a full-sequence forward iteration first)
+ * or decode (token generation only) — and prefill and decode form
+ * separate arrival classes with their own batch buckets and compiled
+ * program families, sharing one EngineState residency pool. Requests
+ * also carry a priority class: a high-priority arrival preempts a
+ * running all-normal iteration at the next step() boundary — the
+ * victim's interpreter frame is parked, one iteration serving the
+ * high-priority requests runs, and the victim resumes exactly where it
+ * stopped (EngineState::park/resume). When no preemption fires,
+ * step-driven results are bit-identical to unpreempted runs.
  *
  * The ServingReport aggregates the paper-style serving metrics: tail
- * latency percentiles, tokens/s goodput, queue depth, and
- * time-weighted HBM/NoC utilization. Everything is deterministic:
- * serving the same trace with the same programs is bit-identical at
- * any compiler --jobs setting (serialize_bits is the proof hook).
+ * latency percentiles, time-to-first-token, tokens/s goodput, queue
+ * depth, preemption counts, and time-weighted HBM/NoC utilization.
+ * Everything is deterministic: serving the same trace with the same
+ * programs is bit-identical at any compiler --jobs setting
+ * (serialize_bits is the proof hook).
  */
 #ifndef ELK_RUNTIME_SERVER_H
 #define ELK_RUNTIME_SERVER_H
@@ -48,20 +59,75 @@ struct ArrivalTrace {
                                        uint64_t seed);
 };
 
+/// Which serving stage a request arrives in.
+enum class Phase {
+    kPrefill,  ///< needs one prefill iteration before decoding.
+    kDecode,   ///< decode-only (e.g. a migrated / resumed request).
+};
+
+/// Scheduling class of a request.
+enum class Priority {
+    kNormal,
+    /// Admitted ahead of normal requests at every boundary, and (with
+    /// ServerOptions::preempt) preempts a running all-normal
+    /// iteration at the next step() boundary on arrival.
+    kHigh,
+};
+
+/// One serving request of the disaggregated scheduler.
+struct Request {
+    double arrival = 0.0;  ///< seconds; requests must be sorted.
+    Phase phase = Phase::kPrefill;
+    Priority priority = Priority::kNormal;
+    /// Decode tokens generated after the prefill (>= 1); the request
+    /// completes when the last one is produced.
+    int decode_tokens = 1;
+};
+
+/// Helpers to build Request traces from plain arrival times.
+std::vector<Request> decode_requests(const std::vector<double>& arrivals,
+                                     int decode_tokens);
+std::vector<Request> prefill_requests(const std::vector<double>& arrivals,
+                                      int decode_tokens);
+
+/**
+ * Tags a plain arrival trace into a mixed Request trace: each request
+ * is prefill-phase with probability @p prefill_frac and high-priority
+ * with probability @p high_frac, drawn from a seeded mt19937_64 so
+ * the tagging is bit-identical for one @p seed on every platform.
+ * Fractions of 0 and 1 are exact (no draws consumed differently).
+ */
+std::vector<Request> make_request_trace(
+    const std::vector<double>& arrivals, int decode_tokens,
+    double prefill_frac, double high_frac, uint64_t seed);
+
 /// Serving knobs.
 struct ServerOptions {
     /// Largest decode batch one iteration can run (slot count).
     int max_batch = 32;
-    /// Decode tokens each request needs before it completes.
+    /// Decode tokens each request needs before it completes (the
+    /// plain-arrival serve() entry point; Request carries its own).
     int tokens_per_request = 1;
-    /// Batch sizes the plan cache holds compiled programs for; the
-    /// server picks the smallest bucket covering the running batch.
-    /// Empty = powers of two up to max_batch.
+    /// Batch sizes the plan cache holds compiled decode programs for;
+    /// the server picks the smallest bucket covering the running
+    /// batch. Empty = powers of two up to max_batch.
     std::vector<int> batch_buckets;
+    /// Largest number of prompts one prefill iteration ingests.
+    int max_prefill_batch = 4;
+    /// Prefill program buckets; empty = powers of two up to
+    /// max_prefill_batch.
+    std::vector<int> prefill_buckets;
     /// Keep operator weights resident in SRAM across iterations
-    /// (evicted oldest-first under pressure); off = every iteration
-    /// re-preloads from HBM like a one-shot run.
+    /// (evicted per residency_policy under pressure); off = every
+    /// iteration re-preloads from HBM like a one-shot run.
     bool keep_resident = true;
+    /// How the engine decides which resident weights survive.
+    sim::ResidencyPolicy residency_policy =
+        sim::ResidencyPolicy::kRetireOrder;
+    /// Let high-priority arrivals park a running all-normal iteration
+    /// at the next step() boundary (off = they still jump the queues,
+    /// but never interrupt an iteration in flight).
+    bool preempt = true;
 };
 
 /// Aggregate serving metrics for one trace (paper-style tail report).
@@ -95,12 +161,28 @@ struct ServingReport {
     // --- residency effect ---
     /// preload_only seconds of the first decode iteration (cold).
     double first_decode_preload = 0.0;
-    /// Mean preload_only seconds of the remaining iterations (warm).
+    /// Mean preload_only seconds of the remaining decode iterations
+    /// (warm).
     double steady_decode_preload = 0.0;
     /// Weights resident per core when serving finished.
     uint64_t resident_bytes = 0;
     /// Preloads satisfied from resident weights (no HBM traffic).
     int64_t preloads_skipped = 0;
+
+    // --- disaggregation / preemption ---
+    int prefill_iterations = 0;
+    int decode_iterations = 0;
+    /// Iterations parked for a high-priority arrival (and resumed).
+    int preemptions = 0;
+    /// Time to first token (arrival -> prefill completion), over
+    /// prefill-phase requests only; zero when the trace has none.
+    double p50_ttft = 0.0;
+    double p95_ttft = 0.0;
+    double max_ttft = 0.0;
+    int high_priority_requests = 0;
+    /// p95 request latency within the high-priority class (zero when
+    /// the trace has none).
+    double p95_high_latency = 0.0;
 
     /// Multi-line human summary.
     std::string summary() const;
@@ -126,9 +208,28 @@ class Server {
 
     Server(const sim::Machine& machine, ServerOptions opts);
 
-    /// Serves @p arrivals (sorted seconds) to completion.
+    /// Serves @p arrivals (sorted seconds) to completion as
+    /// decode-only, normal-priority requests of
+    /// options().tokens_per_request tokens each — the PR 2 fast path,
+    /// bit-identical to the disaggregated scheduler on the same
+    /// degenerate trace.
     ServingReport serve(const std::vector<double>& arrivals,
                         const ProgramSource& programs) const;
+
+    /**
+     * The disaggregated scheduler: serves @p requests (sorted by
+     * arrival) to completion. Prefill-phase requests are batched into
+     * prefill iterations (@p prefill_programs buckets, prefill-first
+     * scheduling), then join the decode class; decode iterations run
+     * @p decode_programs buckets. Both program families execute on
+     * one EngineState, sharing its residency pool — give them
+     * disjoint op-id namespaces (ServingCompiler::Options). @p
+     * prefill_programs may be empty when no request has
+     * Phase::kPrefill.
+     */
+    ServingReport serve(const std::vector<Request>& requests,
+                        const ProgramSource& prefill_programs,
+                        const ProgramSource& decode_programs) const;
 
     const ServerOptions& options() const { return opts_; }
 

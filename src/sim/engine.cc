@@ -51,6 +51,18 @@ SimProgram::validate() const
     }
 }
 
+std::string
+residency_policy_name(ResidencyPolicy policy)
+{
+    switch (policy) {
+        case ResidencyPolicy::kRetireOrder:
+            return "retire-order";
+        case ResidencyPolicy::kFrequencyAware:
+            return "frequency";
+    }
+    util::fatal("unknown residency policy");
+}
+
 // ---------------------------------------------------------------------------
 // EngineState
 
@@ -67,21 +79,22 @@ EngineState::EngineState(const Machine& machine, Options opts)
 bool
 EngineState::exec_active() const
 {
-    return phase_ == ExecPhase::kDistribute || phase_ == ExecPhase::kExecute;
+    return f_.phase == ExecPhase::kDistribute ||
+           f_.phase == ExecPhase::kExecute;
 }
 
 bool
 EngineState::program_complete() const
 {
-    return phase_ == ExecPhase::kDone &&
-           pre_r_ >= static_cast<int>(program_->preload_order.size()) &&
+    return f_.phase == ExecPhase::kDone &&
+           f_.pre_r >= static_cast<int>(f_.program->preload_order.size()) &&
            !preload_active();
 }
 
 bool
 EngineState::done() const
 {
-    return program_ == nullptr || complete_;
+    return f_.program == nullptr || f_.complete;
 }
 
 void
@@ -89,12 +102,15 @@ EngineState::begin(const SimProgram& program)
 {
     util::check(done(), "EngineState: begin() while a program is running");
     program.validate();
-    program_ = &program;
     const int n = static_cast<int>(program.ops.size());
 
-    // Evict resident entries the new program cannot consume: either
-    // the operator is gone or it was compiled to a different preload
-    // footprint / HBM volume (e.g. a different batch bucket's plan).
+    // Evict resident entries this program would stale-hit: the op id
+    // is present but was compiled to a different preload footprint /
+    // HBM volume (e.g. a different batch bucket's plan). Entries for
+    // op ids the program does not mention stay — they may belong to
+    // another program class sharing the pool (prefill vs decode use
+    // disjoint id spaces) — and pinned entries always stay: they are
+    // in use by a parked program.
     if (!resident_.empty()) {
         std::map<int, int> by_id;  // op_id -> exec index
         for (int i = 0; i < n; ++i) {
@@ -102,50 +118,62 @@ EngineState::begin(const SimProgram& program)
         }
         for (auto it = resident_.begin(); it != resident_.end();) {
             auto hit = by_id.find(it->first);
-            bool match =
-                hit != by_id.end() &&
-                program.ops[hit->second].preload_space == it->second.space &&
-                program.ops[hit->second].dram_bytes == it->second.dram_bytes;
-            if (match) {
-                ++it;
-            } else {
+            bool stale = hit != by_id.end() &&
+                         !entry_matches(it->second, program.ops[hit->second]);
+            if (stale && it->second.pin_count == 0) {
                 occupancy_ -= static_cast<double>(it->second.space);
                 resident_bytes_ -= it->second.space;
                 it = resident_.erase(it);
+            } else {
+                ++it;
             }
         }
     }
 
-    net_.emplace(machine_.capacities());
-    result_ = SimResult{};
-    result_.timing.assign(n, {});
+    clock_base_ += f_.t;  // previous program's span becomes history
+    f_ = Frame{};
+    f_.program = &program;
+    f_.net.emplace(machine_.capacities());
+    f_.result.timing.assign(n, {});
     for (int i = 0; i < n; ++i) {
-        result_.timing[i].op_id = program.ops[i].op_id;
+        f_.result.timing[i].op_id = program.ops[i].op_id;
     }
-    clock_base_ += t_;  // previous program's span becomes history
-    t_ = 0.0;
-    exec_i_ = 0;
-    phase_ = n > 0 ? ExecPhase::kWaitPreload : ExecPhase::kDone;
-    phase_local_left_ = 0.0;
-    phase_flow_ = -1;
-    stream_flow_ = -1;
-    phase_start_ = 0.0;
-    pre_r_ = 0;
-    pre_flow_ = -1;
-    pre_latency_left_ = 0.0;
-    pre_op_ = -1;
-    completed_execs_ = 0;
-    preload_done_.assign(n, false);
-    peak_ = occupancy_;
-    hbm_busy_ = 0.0;
-    fabric_preload_ = 0.0;
-    fabric_peer_ = 0.0;
-    guard_ = 0;
-    complete_ = false;
-    t_complete_ = t_;
+    f_.phase = n > 0 ? ExecPhase::kWaitPreload : ExecPhase::kDone;
+    f_.preload_done.assign(n, false);
+    f_.used_resident.assign(n, false);
+    f_.peak = occupancy_;
     if (program_complete()) {
-        complete_ = true;
+        f_.complete = true;
     }
+}
+
+EngineState::Parked
+EngineState::park()
+{
+    util::check(f_.program != nullptr,
+                "EngineState: park() without a program");
+    util::check(!f_.complete,
+                "EngineState: park() after completion; finish() instead");
+    // Fold the parked local clock into the base so the idle state sits
+    // at the same global now (its fresh frame's local clock is zero).
+    clock_base_ += f_.t;
+    auto frame = std::make_unique<Frame>(std::move(f_));
+    f_ = Frame{};
+    return Parked(std::move(frame));
+}
+
+void
+EngineState::resume(Parked&& parked)
+{
+    util::check(f_.program == nullptr,
+                "EngineState: resume() while a program is loaded");
+    util::check(parked.f_ != nullptr && parked.f_->program != nullptr,
+                "EngineState: resume() of an empty parked frame");
+    // Keep the global clock: the victim's local clock continues from
+    // where park() froze it.
+    clock_base_ = (clock_base_ + f_.t) - parked.f_->t;
+    f_ = std::move(*parked.f_);
+    parked.f_.reset();
 }
 
 double
@@ -172,6 +200,57 @@ EngineState::standalone_distribute(const SimOp& op) const
                     op.distribute_bytes / machine_.peer_capacity());
 }
 
+bool
+EngineState::entry_matches(const ResidentEntry& entry, const SimOp& op)
+{
+    return entry.space == op.preload_space &&
+           entry.dram_bytes == op.dram_bytes;
+}
+
+double
+EngineState::entry_score(const ResidentEntry& entry)
+{
+    return entry.dram_bytes * (1.0 + static_cast<double>(entry.hits)) /
+           static_cast<double>(entry.space);
+}
+
+std::map<int, EngineState::ResidentEntry>::iterator
+EngineState::pick_victim()
+{
+    auto victim = resident_.end();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+        if (it->second.pin_count > 0) {
+            continue;
+        }
+        if (victim == resident_.end()) {
+            victim = it;
+            continue;
+        }
+        bool better;
+        if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
+            double s = entry_score(it->second);
+            double v = entry_score(victim->second);
+            better = s < v ||
+                     (s == v && it->second.seq < victim->second.seq);
+        } else {
+            better = it->second.seq < victim->second.seq;
+        }
+        if (better) {
+            victim = it;
+        }
+    }
+    return victim;
+}
+
+void
+EngineState::evict(std::map<int, ResidentEntry>::iterator victim)
+{
+    occupancy_ -= static_cast<double>(victim->second.space);
+    resident_bytes_ -= victim->second.space;
+    resident_.erase(victim);
+    ++resident_evictions_;
+}
+
 void
 EngineState::relieve_pressure()
 {
@@ -181,42 +260,74 @@ EngineState::relieve_pressure()
     const double limit =
         static_cast<double>(machine_.config().usable_sram_per_core());
     while (occupancy_ > limit) {
-        auto victim = resident_.end();
-        for (auto it = resident_.begin(); it != resident_.end(); ++it) {
-            if (it->second.pinned) {
-                continue;
-            }
-            if (victim == resident_.end() ||
-                it->second.seq < victim->second.seq) {
-                victim = it;
-            }
-        }
+        auto victim = pick_victim();
         if (victim == resident_.end()) {
-            break;  // everything left is pinned by the running program
+            break;  // everything left is pinned by running programs
         }
-        occupancy_ -= static_cast<double>(victim->second.space);
-        resident_bytes_ -= victim->second.space;
-        resident_.erase(victim);
-        ++resident_evictions_;
+        evict(victim);
     }
 }
 
 void
 EngineState::retire_op(int i)
 {
-    const SimOp& op = program_->ops[i];
+    const SimOp& op = f_.program->ops[i];
     occupancy_ -= static_cast<double>(op.exec_space);
-    auto it = resident_.find(op.op_id);
-    if (it != resident_.end()) {
-        // Was resident before this program: its weights stay in place,
-        // unpinned and refreshed for oldest-first eviction.
-        it->second.pinned = false;
+    if (f_.used_resident[i]) {
+        // This program's preload consumed the entry: one consumer
+        // done, weights stay in place, refreshed for recency-based
+        // eviction. The entry is pinned, so it cannot have vanished.
+        auto it = resident_.find(op.op_id);
+        util::check(it != resident_.end(),
+                    "EngineState: consumed resident entry vanished");
+        it->second.pin_count = std::max(0, it->second.pin_count - 1);
         it->second.seq = resident_seq_++;
         occupancy_ += static_cast<double>(op.preload_space);
-    } else if (opts_.residency_budget > 0 && op.preload_space > 0 &&
-               op.dram_bytes > 0.0 &&
-               resident_bytes_ + op.preload_space <=
+        return;
+    }
+    if (resident_.find(op.op_id) != resident_.end()) {
+        // An entry under this id appeared independently (admitted by
+        // an interleaved program while we were parked, or a stale one
+        // belonging to a parked program). This op preloaded its own
+        // copy, which is simply dropped: re-crediting preload_space
+        // here would double-count the entry's bytes.
+        return;
+    }
+    if (opts_.residency_budget == 0 || op.preload_space == 0 ||
+        op.dram_bytes <= 0.0) {
+        return;
+    }
+    if (resident_bytes_ + op.preload_space > opts_.residency_budget &&
+        opts_.policy == ResidencyPolicy::kFrequencyAware) {
+        // Budget full: displace strictly lower-worth entries to make
+        // room for a higher-worth candidate (a fresh candidate scores
+        // with reuse count zero). Only if displacing them actually
+        // frees enough space — otherwise evicting would be pure loss
+        // with no admission.
+        ResidentEntry candidate;
+        candidate.space = op.preload_space;
+        candidate.dram_bytes = op.dram_bytes;
+        const double cand_score = entry_score(candidate);
+        uint64_t displaceable = 0;
+        for (const auto& [id, entry] : resident_) {
+            if (entry.pin_count == 0 && entry_score(entry) < cand_score) {
+                displaceable += entry.space;
+            }
+        }
+        if (resident_bytes_ - displaceable + op.preload_space <=
+            opts_.residency_budget) {
+            while (resident_bytes_ + op.preload_space >
                    opts_.residency_budget) {
+                auto victim = pick_victim();
+                if (victim == resident_.end() ||
+                    entry_score(victim->second) >= cand_score) {
+                    break;  // unreachable given the feasibility check
+                }
+                evict(victim);
+            }
+        }
+    }
+    if (resident_bytes_ + op.preload_space <= opts_.residency_budget) {
         ResidentEntry entry;
         entry.space = op.preload_space;
         entry.dram_bytes = op.dram_bytes;
@@ -227,10 +338,21 @@ EngineState::retire_op(int i)
     }
 }
 
+std::vector<int>
+EngineState::resident_op_ids() const
+{
+    std::vector<int> ids;
+    ids.reserve(resident_.size());
+    for (const auto& [id, entry] : resident_) {
+        ids.push_back(id);
+    }
+    return ids;
+}
+
 void
 EngineState::advance_transitions()
 {
-    const SimProgram& program = *program_;
+    const SimProgram& program = *f_.program;
     const hw::ChipConfig& cfg = machine_.config();
     const int n = static_cast<int>(program.ops.size());
     const int num_preloads = static_cast<int>(program.preload_order.size());
@@ -241,45 +363,49 @@ EngineState::advance_transitions()
 
         // Issue the next preload when its slot's predecessors are done
         // and the previous preload finished.
-        if (!preload_active() && pre_r_ < num_preloads) {
-            int op_idx = program.preload_order[pre_r_];
-            int slot = program.issue_slot[pre_r_];
-            if (completed_execs_ >= slot) {
+        if (!preload_active() && f_.pre_r < num_preloads) {
+            int op_idx = program.preload_order[f_.pre_r];
+            int slot = program.issue_slot[f_.pre_r];
+            if (f_.completed_execs >= slot) {
                 const SimOp& op = program.ops[op_idx];
-                result_.timing[op_idx].pre_start = t_;
+                f_.result.timing[op_idx].pre_start = f_.t;
                 auto res = resident_.find(op.op_id);
-                if (res != resident_.end()) {
+                if (res != resident_.end() &&
+                    entry_matches(res->second, op)) {
                     // Weights already in SRAM from an earlier program:
                     // the preload completes instantly with no HBM
                     // traffic. Pin the entry until the execute retires
                     // so pressure eviction cannot take it first.
-                    res->second.pinned = true;
+                    ++res->second.pin_count;
+                    ++res->second.hits;
                     ++resident_hits_;
-                    result_.timing[op_idx].pre_end = t_;
-                    preload_done_[op_idx] = true;
-                    ++pre_r_;
+                    f_.result.timing[op_idx].pre_end = f_.t;
+                    f_.preload_done[op_idx] = true;
+                    f_.used_resident[op_idx] = true;
+                    ++f_.pre_r;
                 } else if (op.dram_bytes <= 0.0) {
-                    result_.timing[op_idx].pre_end = t_;
-                    preload_done_[op_idx] = true;
+                    f_.result.timing[op_idx].pre_end = f_.t;
+                    f_.preload_done[op_idx] = true;
                     occupancy_ += static_cast<double>(op.preload_space);
-                    ++pre_r_;
+                    ++f_.pre_r;
                 } else {
-                    pre_op_ = op_idx;
-                    pre_latency_left_ = cfg.hbm_access_latency_s;
+                    f_.pre_op = op_idx;
+                    f_.pre_latency_left = cfg.hbm_access_latency_s;
                     occupancy_ += static_cast<double>(op.preload_space);
-                    ++pre_r_;
+                    ++f_.pre_r;
                 }
                 relieve_pressure();
-                peak_ = std::max(peak_, occupancy_);
+                f_.peak = std::max(f_.peak, occupancy_);
                 moved = true;
                 continue;
             }
         }
 
         // Preload latency elapsed: start the HBM flow.
-        if (preload_active() && pre_flow_ < 0 && pre_latency_left_ <= 0.0) {
-            const SimOp& op = program.ops[pre_op_];
-            pre_flow_ = net_->add_flow(
+        if (preload_active() && f_.pre_flow < 0 &&
+            f_.pre_latency_left <= 0.0) {
+            const SimOp& op = program.ops[f_.pre_op];
+            f_.pre_flow = f_.net->add_flow(
                 op.dram_bytes,
                 machine_.preload_weights(op.dram_bytes, op.delivery_bytes),
                 FlowTag::kHbmPreload);
@@ -288,82 +414,83 @@ EngineState::advance_transitions()
         }
 
         // Preload flow completed.
-        if (preload_active() && pre_flow_ >= 0 &&
-            !net_->flow_active(pre_flow_)) {
-            result_.timing[pre_op_].pre_end = t_;
-            result_.interconnect_stall += std::max(
-                0.0, (t_ - result_.timing[pre_op_].pre_start) -
-                         standalone_preload(program.ops[pre_op_]));
-            preload_done_[pre_op_] = true;
-            pre_op_ = -1;
-            pre_flow_ = -1;
+        if (preload_active() && f_.pre_flow >= 0 &&
+            !f_.net->flow_active(f_.pre_flow)) {
+            f_.result.timing[f_.pre_op].pre_end = f_.t;
+            f_.result.interconnect_stall += std::max(
+                0.0, (f_.t - f_.result.timing[f_.pre_op].pre_start) -
+                         standalone_preload(program.ops[f_.pre_op]));
+            f_.preload_done[f_.pre_op] = true;
+            f_.pre_op = -1;
+            f_.pre_flow = -1;
             moved = true;
             continue;
         }
 
         // Execute side transitions.
-        if (phase_ == ExecPhase::kWaitPreload && exec_i_ < n &&
-            preload_done_[exec_i_]) {
-            const SimOp& op = program.ops[exec_i_];
-            result_.timing[exec_i_].exec_start = t_;
+        if (f_.phase == ExecPhase::kWaitPreload && f_.exec_i < n &&
+            f_.preload_done[f_.exec_i]) {
+            const SimOp& op = program.ops[f_.exec_i];
+            f_.result.timing[f_.exec_i].exec_start = f_.t;
             occupancy_ += static_cast<double>(op.exec_space) -
                           static_cast<double>(op.preload_space);
             relieve_pressure();
-            peak_ = std::max(peak_, occupancy_);
-            phase_ = ExecPhase::kDistribute;
-            phase_start_ = t_;
-            phase_local_left_ = op.distribute_local_time;
-            phase_flow_ =
+            f_.peak = std::max(f_.peak, occupancy_);
+            f_.phase = ExecPhase::kDistribute;
+            f_.phase_start = f_.t;
+            f_.phase_local_left = op.distribute_local_time;
+            f_.phase_flow =
                 op.distribute_bytes > 0
-                    ? net_->add_flow(op.distribute_bytes,
-                                     machine_.peer_weights(),
-                                     FlowTag::kDistribute)
+                    ? f_.net->add_flow(op.distribute_bytes,
+                                       machine_.peer_weights(),
+                                       FlowTag::kDistribute)
                     : -1;
             moved = true;
             continue;
         }
-        if (phase_ == ExecPhase::kDistribute && phase_local_left_ <= 0.0 &&
-            (phase_flow_ < 0 || !net_->flow_active(phase_flow_))) {
-            const SimOp& op = program.ops[exec_i_];
-            result_.interconnect_stall += std::max(
-                0.0, (t_ - phase_start_) - standalone_distribute(op));
-            phase_ = ExecPhase::kExecute;
-            phase_start_ = t_;
-            phase_local_left_ = op.exec_local_time;
-            phase_flow_ = op.fetch_bytes > 0
-                              ? net_->add_flow(op.fetch_bytes,
-                                               machine_.peer_weights(),
-                                               FlowTag::kExecFetch)
-                              : -1;
+        if (f_.phase == ExecPhase::kDistribute &&
+            f_.phase_local_left <= 0.0 &&
+            (f_.phase_flow < 0 || !f_.net->flow_active(f_.phase_flow))) {
+            const SimOp& op = program.ops[f_.exec_i];
+            f_.result.interconnect_stall += std::max(
+                0.0, (f_.t - f_.phase_start) - standalone_distribute(op));
+            f_.phase = ExecPhase::kExecute;
+            f_.phase_start = f_.t;
+            f_.phase_local_left = op.exec_local_time;
+            f_.phase_flow = op.fetch_bytes > 0
+                                ? f_.net->add_flow(op.fetch_bytes,
+                                                   machine_.peer_weights(),
+                                                   FlowTag::kExecFetch)
+                                : -1;
             // Chunked streamed operands keep drawing their HBM bytes
             // while executing, contending with preloads.
-            stream_flow_ =
+            f_.stream_flow =
                 op.exec_stream_dram > 0
-                    ? net_->add_flow(op.exec_stream_dram,
-                                     machine_.preload_weights(
-                                         op.exec_stream_dram,
-                                         op.exec_stream_dram),
-                                     FlowTag::kHbmPreload)
+                    ? f_.net->add_flow(op.exec_stream_dram,
+                                       machine_.preload_weights(
+                                           op.exec_stream_dram,
+                                           op.exec_stream_dram),
+                                       FlowTag::kHbmPreload)
                     : -1;
             moved = true;
             continue;
         }
-        if (phase_ == ExecPhase::kExecute && phase_local_left_ <= 0.0 &&
-            (phase_flow_ < 0 || !net_->flow_active(phase_flow_)) &&
-            (stream_flow_ < 0 || !net_->flow_active(stream_flow_))) {
-            const SimOp& op = program.ops[exec_i_];
-            result_.timing[exec_i_].exec_end = t_;
-            result_.interconnect_stall +=
-                std::max(0.0, (t_ - phase_start_) - standalone_exec(op));
-            retire_op(exec_i_);
-            ++completed_execs_;
-            ++exec_i_;
-            phase_flow_ = -1;
-            stream_flow_ = -1;
-            if (exec_i_ >= n) {
-                phase_ = ExecPhase::kDone;
+        if (f_.phase == ExecPhase::kExecute && f_.phase_local_left <= 0.0 &&
+            (f_.phase_flow < 0 || !f_.net->flow_active(f_.phase_flow)) &&
+            (f_.stream_flow < 0 || !f_.net->flow_active(f_.stream_flow))) {
+            const SimOp& op = program.ops[f_.exec_i];
+            f_.result.timing[f_.exec_i].exec_end = f_.t;
+            f_.result.interconnect_stall +=
+                std::max(0.0, (f_.t - f_.phase_start) - standalone_exec(op));
+            retire_op(f_.exec_i);
+            ++f_.completed_execs;
+            ++f_.exec_i;
+            f_.phase_flow = -1;
+            f_.stream_flow = -1;
+            if (f_.exec_i >= n) {
+                f_.phase = ExecPhase::kDone;
             } else {
-                phase_ = ExecPhase::kWaitPreload;
+                f_.phase = ExecPhase::kWaitPreload;
             }
             moved = true;
             continue;
@@ -374,12 +501,12 @@ EngineState::advance_transitions()
 double
 EngineState::event_horizon() const
 {
-    double dt = net_->time_to_next_completion();
-    if (preload_active() && pre_flow_ < 0 && pre_latency_left_ > 0) {
-        dt = std::min(dt, pre_latency_left_);
+    double dt = f_.net->time_to_next_completion();
+    if (preload_active() && f_.pre_flow < 0 && f_.pre_latency_left > 0) {
+        dt = std::min(dt, f_.pre_latency_left);
     }
-    if (exec_active() && phase_local_left_ > 0) {
-        dt = std::min(dt, phase_local_left_);
+    if (exec_active() && f_.phase_local_left > 0) {
+        dt = std::min(dt, f_.phase_local_left);
     }
     return dt;
 }
@@ -390,33 +517,33 @@ EngineState::advance_time(double dt)
     if (dt > 0) {
         const int pre_fab = machine_.fabric_resource_for_preload();
         const int peer_fab = machine_.fabric_resource_for_peer();
-        double hbm_cap = net_->capacity(Resources::kHbmDram);
-        hbm_busy_ +=
-            dt * net_->resource_usage(Resources::kHbmDram) / hbm_cap;
-        fabric_preload_ +=
-            dt * net_->resource_usage(pre_fab, FlowTag::kHbmPreload);
-        fabric_peer_ +=
-            dt * (net_->resource_usage(peer_fab, FlowTag::kDistribute) +
-                  net_->resource_usage(peer_fab, FlowTag::kExecFetch));
+        double hbm_cap = f_.net->capacity(Resources::kHbmDram);
+        f_.hbm_busy +=
+            dt * f_.net->resource_usage(Resources::kHbmDram) / hbm_cap;
+        f_.fabric_preload +=
+            dt * f_.net->resource_usage(pre_fab, FlowTag::kHbmPreload);
+        f_.fabric_peer +=
+            dt * (f_.net->resource_usage(peer_fab, FlowTag::kDistribute) +
+                  f_.net->resource_usage(peer_fab, FlowTag::kExecFetch));
         bool e = exec_active();
         bool p = preload_active();
         if (e && p) {
-            result_.overlapped += dt;
+            f_.result.overlapped += dt;
         } else if (e) {
-            result_.execute_only += dt;
+            f_.result.execute_only += dt;
         } else {
-            result_.preload_only += dt;
+            f_.result.preload_only += dt;
         }
     }
 
-    net_->advance(dt);
-    if (preload_active() && pre_flow_ < 0) {
-        pre_latency_left_ -= dt;
+    f_.net->advance(dt);
+    if (preload_active() && f_.pre_flow < 0) {
+        f_.pre_latency_left -= dt;
     }
-    if (exec_active() && phase_local_left_ > 0) {
-        phase_local_left_ -= dt;
+    if (exec_active() && f_.phase_local_left > 0) {
+        f_.phase_local_left -= dt;
     }
-    t_ += dt;
+    f_.t += dt;
 }
 
 bool
@@ -427,22 +554,22 @@ EngineState::step_until(double cap)
     }
     advance_transitions();
     if (program_complete()) {
-        complete_ = true;
-        t_complete_ = t_;
+        f_.complete = true;
+        f_.t_complete = f_.t;
         return false;
     }
-    const int n = static_cast<int>(program_->ops.size());
-    util::check(++guard_ < 64 * (n + 1) + 1024,
+    const int n = static_cast<int>(f_.program->ops.size());
+    util::check(++f_.guard < 64 * (n + 1) + 1024,
                 "Engine: no forward progress");
     double dt = event_horizon();
     util::check(std::isfinite(dt) && dt >= 0,
                 "Engine: stalled with no pending event");
     dt = std::max(dt, 0.0);
-    if (t_ + dt > cap) {
+    if (f_.t + dt > cap) {
         // Clipped at the caller's horizon: this is not an engine
         // event, so it does not count against the progress guard.
-        dt = std::max(cap - t_, 0.0);
-        --guard_;
+        dt = std::max(cap - f_.t, 0.0);
+        --f_.guard;
     }
     advance_time(dt);
     return true;
@@ -458,43 +585,43 @@ void
 EngineState::run_to(double t_target)
 {
     const double cap = t_target - clock_base_;  // local horizon
-    while (!done() && t_ < cap) {
+    while (!done() && f_.t < cap) {
         if (!step_until(cap)) {
             break;
         }
     }
-    if (done() && t_ < cap) {
-        t_ = cap;  // idle until the horizon
+    if (done() && f_.t < cap) {
+        f_.t = cap;  // idle until the horizon
     }
 }
 
 SimResult
 EngineState::finish()
 {
-    util::check(program_ != nullptr,
+    util::check(f_.program != nullptr,
                 "EngineState: finish() without a program");
-    util::check(complete_, "EngineState: finish() before completion");
-    const double total = t_complete_;
-    result_.total_time = total;
+    util::check(f_.complete, "EngineState: finish() before completion");
+    const double total = f_.t_complete;
+    f_.result.total_time = total;
     double total_flops = 0.0;
-    for (const auto& op : program_->ops) {
+    for (const auto& op : f_.program->ops) {
         total_flops += op.flops;
     }
     if (total > 0) {
-        result_.hbm_util = hbm_busy_ / total;
-        result_.noc_util_preload = fabric_preload_ / total;
-        result_.noc_util_peer = fabric_peer_ / total;
-        result_.noc_util =
-            result_.noc_util_preload + result_.noc_util_peer;
-        result_.achieved_tflops = total_flops / total / 1e12;
+        f_.result.hbm_util = f_.hbm_busy / total;
+        f_.result.noc_util_preload = f_.fabric_preload / total;
+        f_.result.noc_util_peer = f_.fabric_peer / total;
+        f_.result.noc_util =
+            f_.result.noc_util_preload + f_.result.noc_util_peer;
+        f_.result.achieved_tflops = total_flops / total / 1e12;
     }
-    result_.peak_sram_per_core = static_cast<uint64_t>(peak_);
-    result_.memory_exceeded = result_.peak_sram_per_core >
-                              machine_.config().usable_sram_per_core();
-    SimResult out = std::move(result_);
-    result_ = SimResult{};
-    program_ = nullptr;
-    net_.reset();
+    f_.result.peak_sram_per_core = static_cast<uint64_t>(f_.peak);
+    f_.result.memory_exceeded = f_.result.peak_sram_per_core >
+                                machine_.config().usable_sram_per_core();
+    SimResult out = std::move(f_.result);
+    f_.result = SimResult{};
+    f_.program = nullptr;
+    f_.net.reset();
     return out;
 }
 

@@ -22,13 +22,19 @@
  * advances it event by event (step) or up to a wall-clock horizon
  * (run_to), and back-to-back programs on one state keep operator
  * weights resident in SRAM so steady-state decode steps skip the HBM
- * preload. Engine::run() is the one-shot convenience wrapper.
+ * preload. A running program can also be parked at any step()
+ * boundary — its complete interpreter frame is lifted off the state so
+ * another program (a high-priority request's iteration) can run on the
+ * same state, and resumed later exactly where it stopped; the serving
+ * runtime's preemption is built on this. Engine::run() is the one-shot
+ * convenience wrapper.
  */
 #ifndef ELK_SIM_ENGINE_H
 #define ELK_SIM_ENGINE_H
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -80,6 +86,24 @@ struct SimProgram {
     void validate() const;
 };
 
+/// How EngineState decides which resident weights survive.
+enum class ResidencyPolicy {
+    /// Admit in retire order while the budget lasts; evict the oldest
+    /// entry first under SRAM pressure (the PR 2 behavior).
+    kRetireOrder,
+    /// Value-aware: an entry's worth is
+    /// dram_bytes x (1 + reuse_count) / preload_space — the HBM
+    /// traffic it saves per byte of SRAM it holds, scaled by how often
+    /// it has actually been reused. Eviction (pressure or budget
+    /// displacement) always takes the lowest-worth unpinned entry;
+    /// admission may displace strictly lower-worth entries when the
+    /// budget is full.
+    kFrequencyAware,
+};
+
+/// Short name for reports ("retire-order" / "frequency").
+std::string residency_policy_name(ResidencyPolicy policy);
+
 /**
  * Resumable interpreter state for SimPrograms on one Machine.
  *
@@ -90,19 +114,34 @@ struct SimProgram {
  * simulates back-to-back decode iterations and idle gaps.
  *
  * Residency: with a non-zero residency budget, operator weights stay
- * in SRAM after their execute completes (newest-kept, evicted oldest
- * first under SRAM pressure from later operators). A subsequent
- * program whose operator matches a resident entry (same op id, HBM
- * bytes, and footprint) completes its preload instantly without
- * touching HBM — the steady-state decode fast path. A zero budget
- * reproduces one-shot Engine::run() semantics exactly.
+ * in SRAM after their execute completes. A subsequent program whose
+ * operator matches a resident entry (same op id, HBM bytes, and
+ * footprint) completes its preload instantly without touching HBM —
+ * the steady-state decode fast path. Which entries are admitted and
+ * which are evicted under pressure is the ResidencyPolicy. A zero
+ * budget reproduces one-shot Engine::run() semantics exactly.
+ *
+ * Preemption: park() lifts the loaded program's whole interpreter
+ * frame (network flows, phase timers, per-op timings, local clock) off
+ * the state; begin()/resume() can then run other programs on the same
+ * state — sharing the residency pool — and resume() puts the parked
+ * frame back with its local clock intact, so the victim's remaining
+ * arithmetic (and result bits) are unchanged by the interruption as
+ * long as the interleaved programs leave the resident entries it uses
+ * alone (entries consumed by a parked program stay pinned). While
+ * parked, a program's flows are quiesced: the model is that the
+ * hardware halts the victim's DMA queues at the boundary.
  */
 class EngineState {
+    struct Frame;  // one loaded program's interpreter state, below.
+
   public:
     struct Options {
         /// Per-core byte cap on weights kept resident across programs;
         /// 0 disables retention entirely.
         uint64_t residency_budget = 0;
+        /// Retention/eviction policy for resident weights.
+        ResidencyPolicy policy = ResidencyPolicy::kRetireOrder;
     };
 
     explicit EngineState(const Machine& machine);
@@ -110,7 +149,10 @@ class EngineState {
 
     /// Loads @p program at the current clock. Requires done(). The
     /// program must stay alive until finish(). Resident entries that
-    /// do not match any of its operators are evicted here.
+    /// are stale for this program (same op id, different preload
+    /// footprint or HBM volume) are evicted here unless pinned by a
+    /// parked program; entries for absent op ids stay (they may serve
+    /// a later program of another class).
     void begin(const SimProgram& program);
 
     /// True when no program is loaded or the loaded one has finished
@@ -121,7 +163,7 @@ class EngineState {
     /// Internally each program runs on a zero-based local clock (so a
     /// run's arithmetic — and result bits — do not depend on when it
     /// starts); now() is the local clock plus the accumulated base.
-    double now() const { return clock_base_ + t_; }
+    double now() const { return clock_base_ + f_.t; }
 
     /// Advances past the next event of the loaded program; returns
     /// false (and does nothing) once done().
@@ -141,11 +183,48 @@ class EngineState {
     /// Engine::run().
     SimResult finish();
 
+    /**
+     * The lifted interpreter frame of a parked program. Move-only and
+     * opaque: it is only useful to hand back to resume() on the state
+     * that produced it.
+     */
+    class Parked {
+      public:
+        Parked(Parked&&) = default;
+        Parked& operator=(Parked&&) = default;
+
+      private:
+        friend class EngineState;
+        explicit Parked(std::unique_ptr<Frame> f) : f_(std::move(f)) {}
+        std::unique_ptr<Frame> f_;
+    };
+
+    /**
+     * Parks the loaded program at the current step() boundary and
+     * returns its frame; the state is then idle (done()) at the same
+     * global clock and can begin() other programs. The parked
+     * program's local clock is frozen while it is off the state.
+     * Requires a loaded, unfinished program.
+     */
+    Parked park();
+
+    /**
+     * Puts a parked frame back. Requires the state to be idle (the
+     * interleaved program finished). The global clock keeps its
+     * current value — the victim's local clock continues from where
+     * park() froze it, so time spent preempted never enters its own
+     * result arithmetic.
+     */
+    void resume(Parked&& parked);
+
     /// Bytes per core currently resident across programs.
     uint64_t resident_bytes() const { return resident_bytes_; }
 
     /// Number of operators whose weights are resident.
     int resident_ops() const { return static_cast<int>(resident_.size()); }
+
+    /// Op ids of the resident entries, ascending (test/diagnostics).
+    std::vector<int> resident_op_ids() const;
 
     /**
      * Adjusts the residency budget between programs. The serving
@@ -164,7 +243,9 @@ class EngineState {
     /// Preloads satisfied from residency since construction.
     int64_t resident_hits() const { return resident_hits_; }
 
-    /// Resident entries evicted under SRAM pressure since construction.
+    /// Resident entries evicted since construction — under SRAM
+    /// pressure, or displaced by a higher-worth admission under the
+    /// frequency-aware policy.
     int64_t resident_evictions() const { return resident_evictions_; }
 
   private:
@@ -176,12 +257,54 @@ class EngineState {
         uint64_t space = 0;      ///< per-core bytes held.
         double dram_bytes = 0.0; ///< HBM volume the entry substitutes.
         uint64_t seq = 0;        ///< recency for oldest-first eviction.
-        /// Consumed by the loaded program (preload skipped, execute
-        /// pending) — not evictable until that execute completes.
-        bool pinned = false;
+        int64_t hits = 0;        ///< reuse count (worth under
+                                 ///< kFrequencyAware).
+        /// In-flight consumers among loaded/parked programs (preload
+        /// skipped, execute pending) — not evictable while > 0.
+        int pin_count = 0;
     };
 
-    bool preload_active() const { return pre_op_ >= 0; }
+    /**
+     * Everything the interpreter knows about one loaded program: the
+     * fluid network with its in-flight flows, the exec/preload state
+     * machines, per-op timings, accounting integrals, and the
+     * program-local clock. begin() builds one, finish() tears it
+     * down, park()/resume() move it off/onto the state whole — which
+     * is what makes preemption a frame swap instead of a simulator
+     * special case.
+     */
+    struct Frame {
+        const SimProgram* program = nullptr;
+        std::optional<FluidNetwork> net;
+        SimResult result;
+        double t = 0.0;  ///< local clock (zero at begin).
+        int exec_i = 0;
+        ExecPhase phase = ExecPhase::kDone;
+        double phase_local_left = 0.0;
+        FlowId phase_flow = -1;
+        FlowId stream_flow = -1;
+        double phase_start = 0.0;
+        int pre_r = 0;
+        FlowId pre_flow = -1;
+        double pre_latency_left = 0.0;
+        int pre_op = -1;
+        int completed_execs = 0;
+        std::vector<bool> preload_done;
+        /// Per op: preload was satisfied by a residency hit (so this
+        /// program owes the entry an unpin + occupancy credit at
+        /// retire). Distinguishes "we consumed the entry" from "a
+        /// matching entry appeared while we were parked".
+        std::vector<bool> used_resident;
+        bool complete = false;
+        double t_complete = 0.0;  ///< local clock at completion.
+        double peak = 0.0;
+        double hbm_busy = 0.0;
+        double fabric_preload = 0.0;
+        double fabric_peer = 0.0;
+        int guard = 0;
+    };
+
+    bool preload_active() const { return f_.pre_op >= 0; }
     bool exec_active() const;
     bool program_complete() const;
     /// Runs state transitions until quiescent (the event dispatch).
@@ -192,8 +315,18 @@ class EngineState {
     void advance_time(double dt);
     /// Advances past one event, clipping at @p cap; false when done.
     bool step_until(double cap);
-    /// Evicts oldest unpinned resident entries while per-core
-    /// occupancy exceeds the machine's usable SRAM.
+    /// True when @p entry holds exactly the bytes @p op preloads.
+    static bool entry_matches(const ResidentEntry& entry, const SimOp& op);
+    /// Resident worth under kFrequencyAware (saved HBM bytes per
+    /// resident byte, scaled by reuse).
+    static double entry_score(const ResidentEntry& entry);
+    /// The next entry the policy would evict (unpinned, lowest
+    /// seq/worth); end() when everything is pinned.
+    std::map<int, ResidentEntry>::iterator pick_victim();
+    /// Drops @p victim from the resident set and the occupancy.
+    void evict(std::map<int, ResidentEntry>::iterator victim);
+    /// Evicts victims while per-core occupancy exceeds the machine's
+    /// usable SRAM.
     void relieve_pressure();
     /// Retention decision at execute completion of op @p i.
     void retire_op(int i);
@@ -207,7 +340,6 @@ class EngineState {
 
     // --- cross-program state ---
     double clock_base_ = 0.0;  ///< global seconds before this program.
-    double t_ = 0.0;           ///< local clock of the loaded program.
     std::map<int, ResidentEntry> resident_;  ///< by op id.
     uint64_t resident_bytes_ = 0;
     uint64_t resident_seq_ = 0;
@@ -215,29 +347,8 @@ class EngineState {
     int64_t resident_evictions_ = 0;
     double occupancy_ = 0.0;  ///< per-core bytes (incl. residents).
 
-    // --- per-program state (reset by begin) ---
-    const SimProgram* program_ = nullptr;
-    std::optional<FluidNetwork> net_;
-    SimResult result_;
-    int exec_i_ = 0;
-    ExecPhase phase_ = ExecPhase::kDone;
-    double phase_local_left_ = 0.0;
-    FlowId phase_flow_ = -1;
-    FlowId stream_flow_ = -1;
-    double phase_start_ = 0.0;
-    int pre_r_ = 0;
-    FlowId pre_flow_ = -1;
-    double pre_latency_left_ = 0.0;
-    int pre_op_ = -1;
-    int completed_execs_ = 0;
-    std::vector<bool> preload_done_;
-    bool complete_ = false;
-    double t_complete_ = 0.0;  ///< local clock at program completion.
-    double peak_ = 0.0;
-    double hbm_busy_ = 0.0;
-    double fabric_preload_ = 0.0;
-    double fabric_peer_ = 0.0;
-    int guard_ = 0;
+    // --- the loaded program (reset by begin, swapped by park/resume)
+    Frame f_;
 };
 
 /// Runs SimPrograms on a Machine.

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (stdlib only; CI `docs` job).
+
+Two classes of rot this catches:
+
+ 1. Relative markdown links whose target file no longer exists
+    (`[text](docs/SERVING.md)`, `[x](../README.md#anchor)`), in every
+    tracked *.md file of the repo.
+ 2. Binary names the docs refer to (`bench_*`, `elkc`, and the
+    example programs) whose source file is gone — every such name
+    must correspond to a real target: bench/<name>.cc,
+    tools/<name>.cc, or examples/<name>.cc. CMake globs those
+    directories, so source existence is target existence; the CI job
+    additionally builds the listed names (`--list-binaries`) to prove
+    they compile.
+
+Usage:
+    tools/check_docs.py              # check, exit 1 on any failure
+    tools/check_docs.py --list-binaries   # print doc-named binaries
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images and absolute URLs; target may
+# carry a #fragment.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+# Binary-ish tokens: bench_* always; other names are checked against
+# the known binary stems (so prose words never false-positive).
+TOKEN_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+
+def markdown_files():
+    out = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [
+            d
+            for d in dirs
+            if not d.startswith(".") and d not in ("build", "build-asan")
+        ]
+        for name in files:
+            if name.endswith(".md"):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def known_binaries():
+    """Stem -> source path for every buildable driver."""
+    stems = {}
+    for sub in ("bench", "tools", "examples"):
+        directory = os.path.join(REPO, sub)
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".cc"):
+                stems[name[: -len(".cc")]] = os.path.join(sub, name)
+    return stems
+
+
+def check_links(md_path, errors):
+    base = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z]+:", target) or target.startswith("#"):
+            continue  # URL or in-page anchor
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(md_path, REPO)
+            errors.append(f"{rel}: broken link -> {target}")
+
+
+def doc_binaries(md_path, binaries, errors):
+    """Names of binaries this doc mentions; bench_* must resolve."""
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    named = set()
+    for match in TOKEN_RE.finditer(text):
+        token = match.group(0)
+        after = text[match.end() : match.end() + 1]
+        if after == "*" or token.endswith("_"):
+            continue  # a glob like bench_* / bench_fig*, not a name
+        if token in binaries:
+            named.add(token)
+        elif token.startswith("bench_"):
+            rel = os.path.relpath(md_path, REPO)
+            errors.append(
+                f"{rel}: names '{token}' but bench/{token}.cc "
+                "does not exist"
+            )
+    return named
+
+
+def main():
+    list_only = "--list-binaries" in sys.argv[1:]
+    binaries = known_binaries()
+    errors = []
+    named = set()
+    for md in markdown_files():
+        check_links(md, errors)
+        # ISSUE.md / CHANGES.md are PR-process logs with free-form
+        # shorthand, not user docs; their links are still checked.
+        if os.path.basename(md) in ("ISSUE.md", "CHANGES.md"):
+            continue
+        named |= doc_binaries(md, binaries, errors)
+
+    if list_only:
+        print(" ".join(sorted(named)))
+        return 0 if not errors else 1
+
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    checked = len(markdown_files())
+    if errors:
+        print(f"{len(errors)} doc problem(s) in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"docs ok: {checked} markdown files, "
+          f"{len(named)} binaries referenced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

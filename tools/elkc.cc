@@ -73,8 +73,18 @@ usage(const char* argv0)
         "  --rate R          Poisson arrival rate in requests/s;\n"
         "                    0 = closed loop (default)\n"
         "  --tokens N        decode tokens per request (default 4)\n"
-        "  --seed S          arrival trace seed (default 42)\n"
-        "  --no-residency    re-preload weights every iteration\n",
+        "  --seed S          arrival trace + tagging seed (default 42)\n"
+        "  --prefill-frac F  fraction of requests arriving in the\n"
+        "                    prefill phase (default 0 = decode-only)\n"
+        "  --high-frac F     fraction of requests that are\n"
+        "                    high-priority (default 0)\n"
+        "  --prefill-batch N largest prefill batch (default 4)\n"
+        "  --policy P        residency policy: retire-order (default)\n"
+        "                    or frequency\n"
+        "  --no-preempt      high-priority arrivals never interrupt a\n"
+        "                    running iteration\n"
+        "  --no-residency    re-preload weights every iteration\n"
+        "  --cache-keys      list the plan-cache entries after serving\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -123,7 +133,13 @@ serve_main(int argc, char** argv, const char* argv0)
     int tokens = 4;
     int seed = 42;
     int jobs = 1;
+    double prefill_frac = 0.0;
+    double high_frac = 0.0;
+    int prefill_batch = 4;
+    std::string policy = "retire-order";
+    bool preempt = true;
     bool residency = true;
+    bool cache_keys = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char* flag) {
@@ -160,11 +176,34 @@ serve_main(int argc, char** argv, const char* argv0)
                                        std::numeric_limits<int>::max());
         } else if (const char* v = arg("--jobs")) {
             jobs = util::ThreadPool::parse_jobs_arg(v, "--jobs");
+        } else if (const char* v = arg("--prefill-frac")) {
+            prefill_frac =
+                util::parse_double_arg(v, "--prefill-frac", 0.0, 1.0);
+        } else if (const char* v = arg("--high-frac")) {
+            high_frac =
+                util::parse_double_arg(v, "--high-frac", 0.0, 1.0);
+        } else if (const char* v = arg("--prefill-batch")) {
+            prefill_batch =
+                util::parse_int_arg(v, "--prefill-batch", 1, 4096);
+        } else if (const char* v = arg("--policy")) {
+            policy = v;
+        } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
+            preempt = false;
         } else if (std::strcmp(argv[i], "--no-residency") == 0) {
             residency = false;
+        } else if (std::strcmp(argv[i], "--cache-keys") == 0) {
+            cache_keys = true;
         } else {
             usage(argv0);
         }
+    }
+    sim::ResidencyPolicy residency_policy;
+    if (policy == "retire-order") {
+        residency_policy = sim::ResidencyPolicy::kRetireOrder;
+    } else if (policy == "frequency") {
+        residency_policy = sim::ResidencyPolicy::kFrequencyAware;
+    } else {
+        util::fatal("unknown residency policy: " + policy);
     }
 
     hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
@@ -173,16 +212,25 @@ serve_main(int argc, char** argv, const char* argv0)
     compiler::PlanCache cache;
     compiler::ServingCompiler sc(graph::model_by_name(model_name), seq,
                                  chip, copts, &cache, jobs);
+    compiler::ServingCompiler pc(
+        graph::model_by_name(model_name), seq, chip, copts, &cache,
+        jobs, compiler::ServingCompiler::Options::prefill());
 
     runtime::ServerOptions sopts;
     sopts.max_batch = batch;
     sopts.tokens_per_request = tokens;
+    sopts.max_prefill_batch = prefill_batch;
     sopts.keep_resident = residency;
+    sopts.residency_policy = residency_policy;
+    sopts.preempt = preempt;
     runtime::Server server(sc.machine(), sopts);
     std::vector<double> arrivals =
         rate > 0 ? runtime::ArrivalTrace::poisson(
                        requests, rate, static_cast<uint64_t>(seed))
                  : runtime::ArrivalTrace::closed_loop(requests);
+    std::vector<runtime::Request> trace = runtime::make_request_trace(
+        arrivals, tokens, prefill_frac, high_frac,
+        static_cast<uint64_t>(seed));
 
     std::printf("serving    : %s, %s, batch %d, seq %d\n",
                 model_name.c_str(), sc.mode().c_str(), batch, seq);
@@ -195,15 +243,26 @@ serve_main(int argc, char** argv, const char* argv0)
                     "closed loop\n",
                     requests, tokens);
     }
+    std::printf("scheduler  : prefill-frac %g, high-frac %g, "
+                "policy %s, preemption %s\n",
+                prefill_frac, high_frac,
+                sim::residency_policy_name(residency_policy).c_str(),
+                preempt ? "on" : "off");
     runtime::ServingReport rep =
-        server.serve(arrivals, [&](int b) { return sc.program(b); });
+        server.serve(trace, [&](int b) { return pc.program(b); },
+                     [&](int b) { return sc.program(b); });
     std::printf("%s\n", rep.summary().c_str());
     auto stats = cache.stats();
     std::printf("plan cache : %d entries, %lld hits, %lld misses "
                 "(compile %.2f s total)\n",
                 stats.entries, static_cast<long long>(stats.hits),
                 static_cast<long long>(stats.misses),
-                sc.compile_seconds());
+                sc.compile_seconds() + pc.compile_seconds());
+    if (cache_keys) {
+        for (const std::string& key : cache.keys()) {
+            std::printf("  %s\n", key.c_str());
+        }
+    }
     return 0;
 }
 
