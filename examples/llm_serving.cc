@@ -11,13 +11,16 @@
  * boundary.
  *
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
- *                   [prefill_frac] [high_frac]
- *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1
+ *                   [prefill_frac] [high_frac] [prompt_mean]
+ *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
  * prefill_frac (default 0) tags that fraction of requests as
  * prefill-phase; high_frac (default 0) as high-priority.
+ * prompt_mean (default 0) draws seeded geometric prompt lengths of
+ * that mean (clamped to seq), served through the (batch,
+ * prompt-length) prefill bucket grid; 0 = every prompt is seq tokens.
  */
 #include <cstdio>
 #include <string>
@@ -57,6 +60,10 @@ main(int argc, char** argv)
         argc > 8
             ? util::parse_double_arg(argv[8], "high_frac", 0.0, 1.0)
             : 0.0;
+    double prompt_mean =
+        argc > 9
+            ? util::parse_double_arg(argv[9], "prompt_mean", 0.0, 1e9)
+            : 0.0;
 
     hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
     graph::ModelConfig model = graph::model_by_name(name);
@@ -66,6 +73,10 @@ main(int argc, char** argv)
                  : runtime::ArrivalTrace::closed_loop(requests);
     std::vector<runtime::Request> trace = runtime::make_request_trace(
         arrivals, tokens, prefill_frac, high_frac, /*seed=*/42);
+    if (prompt_mean > 0.0) {
+        runtime::tag_prompt_lengths(trace, seq, prompt_mean,
+                                    /*seed=*/42);
+    }
     std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
                 "HBM\n",
                 name.c_str(), batch, seq, chip.total_cores(),
@@ -77,13 +88,20 @@ main(int argc, char** argv)
         std::printf("%d requests x %d tokens, closed loop", requests,
                     tokens);
     }
-    std::printf(" (prefill %g%%, high-priority %g%%)\n\n",
-                prefill_frac * 100, high_frac * 100);
+    if (prompt_mean > 0.0) {
+        std::printf(" (prefill %g%%, high-priority %g%%, "
+                    "geometric prompts ~%g tok)\n\n",
+                    prefill_frac * 100, high_frac * 100, prompt_mean);
+    } else {
+        std::printf(" (prefill %g%%, high-priority %g%%)\n\n",
+                    prefill_frac * 100, high_frac * 100);
+    }
 
     compiler::PlanCache cache;
     util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
                        "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
-                       "preempts", "preload first(ms)", "steady(ms)"});
+                       "preempts", "padded_tok", "preload first(ms)",
+                       "steady(ms)"});
 
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
@@ -98,9 +116,10 @@ main(int argc, char** argv)
         runtime::ServerOptions sopts;
         sopts.max_batch = batch;
         sopts.tokens_per_request = tokens;
+        sopts.max_prompt_len = seq;
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
-            trace, [&](int b) { return pc.program(b); },
+            trace, [&](int b, int len) { return pc.program(b, len); },
             [&](int b) { return sc.program(b); });
         table.add(sc.mode(), runtime::ms(rep.p50_latency),
                   runtime::ms(rep.p95_latency),
@@ -108,6 +127,7 @@ main(int argc, char** argv)
                   runtime::ms(rep.p95_ttft), rep.tokens_per_s,
                   runtime::pct(rep.hbm_util), rep.mean_queue_depth,
                   rep.preemptions,
+                  rep.padded_prompt_tokens,
                   runtime::ms(rep.first_decode_preload),
                   runtime::ms(rep.steady_decode_preload));
     }

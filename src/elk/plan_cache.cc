@@ -12,16 +12,16 @@ using util::Fnv1a;
 bool
 PlanKey::operator<(const PlanKey& o) const
 {
-    return std::tie(model, chip, mode, batch, options) <
-           std::tie(o.model, o.chip, o.mode, o.batch, o.options);
+    return std::tie(model, chip, mode, batch, seq, options) <
+           std::tie(o.model, o.chip, o.mode, o.batch, o.seq, o.options);
 }
 
 std::string
 PlanKey::to_string() const
 {
     std::ostringstream out;
-    out << model << "|" << chip << "|" << mode << "|b" << batch << "|"
-        << options;
+    out << model << "|" << chip << "|" << mode << "|b" << batch << "|s"
+        << seq << "|" << options;
     return out.str();
 }
 
@@ -84,6 +84,7 @@ make_plan_key(const graph::Graph& graph, const hw::ChipConfig& cfg,
     key.model = model_signature(graph);
     key.chip = chip_signature(cfg);
     key.mode = mode_name(opts.mode);
+    key.seq = graph.seq();
     for (const auto& op : graph.ops()) {
         key.batch = std::max(key.batch, static_cast<int>(op.batch));
     }

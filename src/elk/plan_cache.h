@@ -32,11 +32,17 @@ struct PlanKey {
     std::string chip;     ///< chip configuration signature.
     std::string mode;     ///< design mode name.
     int batch = 0;        ///< max operator batch (diagnostics).
+    /// Sequence length the graph was built at (Graph::seq; 0 when
+    /// unknown). Decode programs and every (batch, prompt-length)
+    /// prefill bucket partition cleanly on it — the operator digest
+    /// already separates them, this keeps the partition visible in
+    /// keys() and ordered by length.
+    int seq = 0;
     std::string options;  ///< search-knob digest (windows, orders...).
 
     bool operator<(const PlanKey& o) const;
 
-    /// Human-readable form for logs ("model|chip|mode|batch|opts").
+    /// Human-readable form ("model|chip|mode|batch|seq|opts").
     std::string to_string() const;
 };
 

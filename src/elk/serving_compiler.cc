@@ -8,6 +8,22 @@
 
 namespace elk::compiler {
 
+namespace {
+
+/// ceil(log2(v)) for v >= 1: the power-of-two band index of a prompt
+/// length, and with it the prefill sub-namespace of that bucket.
+int
+ceil_log2(int v)
+{
+    int n = 0;
+    while ((1 << n) < v) {
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace
+
 ServingCompiler::ServingCompiler(graph::ModelConfig model, int seq,
                                  const hw::ChipConfig& cfg,
                                  CompileOptions opts, PlanCache* cache,
@@ -38,9 +54,22 @@ ServingCompiler::ServingCompiler(graph::ModelConfig model, int seq,
 std::shared_ptr<const sim::SimProgram>
 ServingCompiler::program(int batch)
 {
+    return program(batch, seq_);
+}
+
+std::shared_ptr<const sim::SimProgram>
+ServingCompiler::program(int batch, int prompt_len)
+{
     util::check(batch >= 1, "ServingCompiler: batch must be >= 1");
+    util::check(prompt_len >= 1 && prompt_len <= seq_,
+                "ServingCompiler: prompt_len must be in [1, seq]");
+    util::check(serving_opts_.kind == GraphKind::kPrefill ||
+                    prompt_len == seq_,
+                "ServingCompiler: decode programs are compiled at the "
+                "model sequence length only");
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(batch);
+    const std::pair<int, int> key(batch, prompt_len);
+    auto it = entries_.find(key);
     if (it != entries_.end()) {
         return it->second.program;
     }
@@ -48,7 +77,7 @@ ServingCompiler::program(int batch)
     Entry entry;
     entry.graph = std::make_unique<graph::Graph>(
         serving_opts_.kind == GraphKind::kPrefill
-            ? graph::build_forward_graph(model_, batch, seq_)
+            ? graph::build_forward_graph(model_, batch, prompt_len)
             : graph::build_decode_graph(model_, batch, seq_));
     entry.compiler = std::make_unique<Compiler>(*entry.graph, cfg_,
                                                 nullptr, jobs_);
@@ -59,13 +88,22 @@ ServingCompiler::program(int batch)
         *entry.graph, compiled.plan, entry.compiler->context());
     // Namespacing happens after lowering so the plan cache still keys
     // on the structural graph (the offset never changes the plan).
+    // Prefill length buckets get a per-band sub-namespace on top of
+    // the family offset (see kPrefillIdOffset).
+    int offset = serving_opts_.op_id_offset;
+    if (serving_opts_.kind == GraphKind::kPrefill) {
+        offset += ceil_log2(prompt_len) * kPrefillIdOffset;
+        util::check(entry.graph->size() < kPrefillIdOffset,
+                    "ServingCompiler: graph too large for the prefill "
+                    "id namespace scheme");
+    }
     for (sim::SimOp& op : lowered.ops) {
-        op.op_id += serving_opts_.op_id_offset;
+        op.op_id += offset;
     }
     entry.program =
         std::make_shared<sim::SimProgram>(std::move(lowered));
     auto program = entry.program;
-    entries_.emplace(batch, std::move(entry));
+    entries_.emplace(key, std::move(entry));
     return program;
 }
 

@@ -2,20 +2,25 @@
  * @file
  * ServingCompiler: the compile side of the serving stack.
  *
- * The Server asks for "the program for batch bucket b" once per
- * iteration; this facade memoizes the whole chain behind that call —
- * graph construction, Compiler analysis, the (PlanCache-backed)
- * compile, and lowering to the simulator program — per batch size.
- * Returning the same SimProgram object for a repeated bucket is what
- * lets the engine keep weights resident across iterations.
+ * The Server asks for "the program for bucket (batch, prompt_len)"
+ * once per iteration; this facade memoizes the whole chain behind
+ * that call — graph construction, Compiler analysis, the
+ * (PlanCache-backed) compile, and lowering to the simulator program —
+ * per bucket. Returning the same SimProgram object for a repeated
+ * bucket is what lets the engine keep weights resident across
+ * iterations.
  *
  * A serving compiler builds one graph family: decode steps
- * (GraphKind::kDecode, one token per request against a KV cache) or
- * prefill (GraphKind::kPrefill, the full-sequence forward shape that
- * ingests a prompt). Disaggregated serving runs one compiler per
- * family over a shared PlanCache, with disjoint op-id namespaces
- * (Options::op_id_offset) so both families can share one EngineState
- * residency pool without op-id aliasing.
+ * (GraphKind::kDecode, one token per request against a KV cache of
+ * the model sequence length) or prefill (GraphKind::kPrefill, the
+ * forward shape that ingests a prompt). Prefill is two-dimensional:
+ * each (batch, prompt_len) bucket compiles build_forward_graph at its
+ * *bucketed length*, so a short prompt stops paying for a
+ * full-sequence forward pass. Disaggregated serving runs one compiler
+ * per family over a shared PlanCache, with disjoint op-id namespaces
+ * (Options::op_id_offset plus the per-length sub-namespace scheme
+ * below) so every family and every prefill length bucket can share
+ * one EngineState residency pool without op-id aliasing.
  *
  * Thread-safe: replica sweeps share one instance (and its PlanCache)
  * across worker threads; compiles are serialized by an internal lock
@@ -27,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "elk/compiler.h"
 #include "elk/plan_cache.h"
@@ -36,17 +42,25 @@
 
 namespace elk::compiler {
 
-/// Which graph family a ServingCompiler builds per batch bucket.
+/// Which graph family a ServingCompiler builds per bucket.
 enum class GraphKind {
     kDecode,   ///< one-token decode step with a KV cache of seq.
-    kPrefill,  ///< full-sequence forward pass over the prompt.
+    kPrefill,  ///< forward pass over the (bucketed) prompt length.
 };
 
 class ServingCompiler {
   public:
     /// Conventional op-id offset for the prefill family: far above any
     /// real graph's operator count, so prefill and decode programs
-    /// never alias in a shared residency pool.
+    /// never alias in a shared residency pool. Prefill length buckets
+    /// are further sub-namespaced per power-of-two band: a program at
+    /// prompt length L is offset by
+    ///   op_id_offset + ceil(log2(L)) * kPrefillIdOffset,
+    /// so every bucket of the default power-of-two ladder owns a
+    /// disjoint id range and stays resident independently. (Two
+    /// non-power-of-two bucket lengths in one band would share a
+    /// namespace; the engine's footprint-verified residency keeps that
+    /// correct, merely evicting on a mismatch.)
     static constexpr int kPrefillIdOffset = 1 << 20;
 
     /// Serving-specific knobs (the CompileOptions cover the search).
@@ -69,7 +83,9 @@ class ServingCompiler {
 
     /**
      * @p cache may be nullptr (no cross-instance amortization) and
-     * must outlive the serving compiler otherwise. @p jobs is the
+     * must outlive the serving compiler otherwise. @p seq is the
+     * model sequence length: the KV depth of every decode program and
+     * the longest prompt a prefill bucket can ingest. @p jobs is the
      * compiler worker-thread knob; plans are bit-identical at any
      * setting.
      */
@@ -80,9 +96,16 @@ class ServingCompiler {
                     const hw::ChipConfig& cfg, CompileOptions opts,
                     PlanCache* cache, int jobs, Options serving_opts);
 
-    /// Compiled program for @p batch requests (memoized). For the
-    /// prefill family, @p batch is the number of prompts ingested
-    /// together, each at the compiler's sequence length.
+    /// Compiled program for the (batch, prompt_len) bucket
+    /// (memoized). For the prefill family @p batch prompts, each of
+    /// @p prompt_len tokens, are ingested together by a forward graph
+    /// built at that length; the decode family is one-dimensional and
+    /// requires prompt_len == seq (its KV depth).
+    std::shared_ptr<const sim::SimProgram> program(int batch,
+                                                   int prompt_len);
+
+    /// Compiled program for @p batch at the model sequence length —
+    /// the full-length bucket (and the only one decode has).
     std::shared_ptr<const sim::SimProgram> program(int batch);
 
     /// The machine serving runs on (split fabric for Ideal mode).
@@ -96,6 +119,9 @@ class ServingCompiler {
 
     /// The graph family this compiler builds.
     GraphKind kind() const { return serving_opts_.kind; }
+
+    /// The model sequence length buckets are bounded by.
+    int seq() const { return seq_; }
 
   private:
     struct Entry {
@@ -113,7 +139,8 @@ class ServingCompiler {
     Options serving_opts_;
     sim::Machine machine_;
     mutable std::mutex mu_;
-    std::map<int, Entry> entries_;
+    /// (batch, prompt_len) -> compiled chain.
+    std::map<std::pair<int, int>, Entry> entries_;
     double compile_seconds_ = 0.0;
 };
 

@@ -30,6 +30,14 @@ class Graph {
     /// Model name (e.g., "Llama2-13B").
     const std::string& name() const { return name_; }
 
+    /// Sequence length this graph was built at: the KV depth of a
+    /// decode graph, the (bucketed) prompt length of a forward/prefill
+    /// graph, the token count of a DiT graph. 0 = unknown (e.g. a
+    /// graph loaded from an .egf file). Plan-cache keys carry it so
+    /// prefill length buckets partition cleanly (see plan_cache.h).
+    int seq() const { return seq_; }
+    void set_seq(int seq) { seq_ = seq; }
+
     /// All operators in execution order.
     const std::vector<Operator>& ops() const { return ops_; }
 
@@ -62,6 +70,7 @@ class Graph {
 
   private:
     std::string name_;
+    int seq_ = 0;
     std::vector<Operator> ops_;
     int num_layers_ = 0;
 };

@@ -179,6 +179,7 @@ build_decode_graph(const ModelConfig& cfg, int batch, int seq)
 {
     util::check(batch > 0 && seq > 0, "decode graph: bad batch/seq");
     Graph graph(cfg.name);
+    graph.set_seq(seq);
     LayerBuilder lb(graph, cfg.dtype_bytes);
 
     for (int layer = 0; layer < cfg.layers; ++layer) {
@@ -198,6 +199,7 @@ build_forward_graph(const ModelConfig& cfg, int batch, int seq)
 {
     util::check(batch > 0 && seq > 0, "forward graph: bad batch/seq");
     Graph graph(cfg.name + "-fwd");
+    graph.set_seq(seq);
     LayerBuilder lb(graph, cfg.dtype_bytes);
 
     const long tokens = static_cast<long>(batch) * seq;
@@ -218,6 +220,7 @@ build_dit_graph(const ModelConfig& cfg, int batch, int tokens)
 {
     util::check(batch > 0 && tokens > 0, "dit graph: bad batch/tokens");
     Graph graph(cfg.name);
+    graph.set_seq(tokens);
     LayerBuilder lb(graph, cfg.dtype_bytes);
 
     const long rows = static_cast<long>(batch) * tokens;

@@ -27,7 +27,10 @@ Graph build_decode_graph(const ModelConfig& cfg, int batch, int seq);
 /**
  * Full-sequence forward pass (the compute-intensive training shape):
  * all @p seq tokens of @p batch sequences are processed at once, so
- * attention is S x S and no KV cache streams from HBM.
+ * attention is S x S and no KV cache streams from HBM. Serving prefill
+ * compiles this shape at the *bucketed prompt length* — pass the
+ * prompt bucket as @p seq and a 32-token prompt stops paying for a
+ * full-sequence forward pass (see elk/serving_compiler.h).
  */
 Graph build_forward_graph(const ModelConfig& cfg, int batch, int seq);
 

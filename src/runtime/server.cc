@@ -4,8 +4,10 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 #include <random>
 #include <sstream>
+#include <utility>
 
 #include "runtime/metrics.h"
 #include "util/bits.h"
@@ -16,11 +18,6 @@ namespace elk::runtime {
 
 using util::append_bits;
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Smallest bucket covering @p need; the largest one when none does.
 int
 pick_bucket(const std::vector<int>& buckets, int need)
 {
@@ -31,6 +28,10 @@ pick_bucket(const std::vector<int>& buckets, int need)
     }
     return buckets.back();
 }
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Default bucket ladder: powers of two up to @p max, validated.
 void
@@ -47,7 +48,7 @@ finalize_buckets(std::vector<int>& buckets, int max, const char* what)
                                           " buckets must be positive");
     util::check(buckets.back() == max,
                 std::string("Server: largest ") + what +
-                    " bucket must equal the class's max batch");
+                    " bucket must equal the class's maximum");
 }
 
 sim::EngineState::Options
@@ -78,7 +79,7 @@ class DisaggRun {
   public:
     DisaggRun(const sim::Machine& machine, const ServerOptions& opts,
               const std::vector<Request>& requests,
-              const Server::ProgramSource& prefill_programs,
+              const Server::PrefillProgramSource& prefill_programs,
               const Server::ProgramSource& decode_programs)
         : machine_(machine),
           opts_(opts),
@@ -136,10 +137,18 @@ class DisaggRun {
     void run_decode_mini_high();
     void finalize();
 
+    /// A request's prompt length with the 0 = "full model sequence
+    /// length" default resolved.
+    int effective_prompt_len(int r) const
+    {
+        const int len = requests_[r].prompt_len;
+        return len > 0 ? len : opts_.max_prompt_len;
+    }
+
     const sim::Machine& machine_;
     const ServerOptions& opts_;
     const std::vector<Request>& requests_;
-    const Server::ProgramSource& prefill_src_;
+    const Server::PrefillProgramSource& prefill_src_;
     const Server::ProgramSource& decode_src_;
     sim::EngineState state_;
 
@@ -161,6 +170,8 @@ class DisaggRun {
     util::WeightedMean noc_mean_;
     double steady_preload_sum_ = 0.0;
     int steady_iterations_ = 0;
+    /// (prompt_len bucket, batch bucket) -> prefill iterations.
+    std::map<std::pair<int, int>, int> bucket_iters_;
 };
 
 void
@@ -299,10 +310,25 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible)
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     int bucket = pick_bucket(opts_.prefill_buckets,
                              static_cast<int>(members.size()));
+    // The claimed prompts share one program: the smallest length
+    // bucket covering the longest of them. Everything shorter is
+    // padded up to the bucket — the waste the report tracks.
+    int need_len = 1;
+    int64_t actual_tokens = 0;
+    for (int r : members) {
+        const int len = effective_prompt_len(r);
+        need_len = std::max(need_len, len);
+        actual_tokens += len;
+    }
+    int len_bucket = pick_bucket(opts_.prompt_buckets, need_len);
     std::shared_ptr<const sim::SimProgram> program =
-        prefill_src_ ? prefill_src_(bucket) : nullptr;
+        prefill_src_ ? prefill_src_(bucket, len_bucket) : nullptr;
     util::check(program != nullptr,
                 "Server: prefill ProgramSource returned no program");
+    rep_.prompt_tokens += actual_tokens;
+    rep_.padded_prompt_tokens +=
+        static_cast<int64_t>(bucket) * len_bucket - actual_tokens;
+    ++bucket_iters_[{len_bucket, bucket}];
 
     bool protected_iter = false;
     for (int r : members) {
@@ -421,10 +447,18 @@ DisaggRun::finalize()
     rep_.preloads_skipped = state_.resident_hits();
 
     if (!ttfts_.empty()) {
+        rep_.mean_ttft = util::mean(ttfts_);
         rep_.p50_ttft = util::percentile(ttfts_, 50.0);
         rep_.p95_ttft = util::percentile(ttfts_, 95.0);
         rep_.max_ttft =
             *std::max_element(ttfts_.begin(), ttfts_.end());
+    }
+    for (const auto& [key, iters] : bucket_iters_) {
+        ServingReport::PrefillBucket b;
+        b.prompt_len = key.first;
+        b.batch = key.second;
+        b.iterations = iters;
+        rep_.prefill_bucket_iterations.push_back(b);
     }
     std::vector<double> high;
     for (int i = 0; i < n; ++i) {
@@ -452,6 +486,15 @@ DisaggRun::run()
                     "Server: requests must be sorted and non-negative");
         util::check(req.decode_tokens >= 1,
                     "Server: decode_tokens must be >= 1");
+        if (req.phase == Phase::kPrefill) {
+            util::check(opts_.max_prompt_len >= 1,
+                        "Server: prefill-phase requests need "
+                        "max_prompt_len (the model sequence length)");
+            util::check(req.prompt_len >= 0 &&
+                            req.prompt_len <= opts_.max_prompt_len,
+                        "Server: prompt_len must be in "
+                        "[0, max_prompt_len]");
+        }
         tokens_left_[i] = req.decode_tokens;
     }
     rep_.requests = n;
@@ -567,6 +610,33 @@ make_request_trace(const std::vector<double>& arrivals,
     return out;
 }
 
+void
+tag_prompt_lengths(std::vector<Request>& requests, int max_len,
+                   double mean_len, uint64_t seed)
+{
+    util::check(max_len >= 1,
+                "tag_prompt_lengths: max_len must be >= 1");
+    util::check(mean_len > 0.0,
+                "tag_prompt_lengths: mean_len must be positive");
+    // Domain-separate the stream from make_request_trace's: callers
+    // naturally pass one trace seed to both, and an unmixed seed
+    // would make request k's prompt length a function of the same
+    // draw as its phase/priority tag.
+    std::mt19937_64 rng(seed ^ 0x70726f6d70747376ull);  // "promptsv"
+    for (Request& r : requests) {
+        // Inverse-CDF exponential on the raw mt19937_64 output (see
+        // ArrivalTrace::poisson): platform-stable, and one draw per
+        // request so the sequence is independent of the phase mix.
+        double u =
+            static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+        // Clamp in double before the int cast: a large mean can push
+        // the draw past INT_MAX, where the cast itself is undefined.
+        double draw = std::min(-std::log1p(-u) * mean_len,
+                               static_cast<double>(max_len - 1));
+        r.prompt_len = 1 + static_cast<int>(std::floor(draw));
+    }
+}
+
 std::string
 ServingReport::summary() const
 {
@@ -588,8 +658,16 @@ ServingReport::summary() const
         << resident_bytes / 1024 << " KB/core resident, "
         << preloads_skipped << " preloads skipped)";
     if (prefill_iterations > 0) {
-        out << "\n  ttft ms      : p50 " << ms(p50_ttft) << "  p95 "
-            << ms(p95_ttft) << "  max " << ms(max_ttft);
+        out << "\n  ttft ms      : mean " << ms(mean_ttft) << "  p50 "
+            << ms(p50_ttft) << "  p95 " << ms(p95_ttft) << "  max "
+            << ms(max_ttft);
+        out << "\n  prefill      : " << prompt_tokens
+            << " prompt tokens, " << padded_prompt_tokens
+            << " padded; buckets";
+        for (const PrefillBucket& b : prefill_bucket_iterations) {
+            out << " b" << b.batch << "xL" << b.prompt_len << ":"
+                << b.iterations;
+        }
     }
     if (high_priority_requests > 0) {
         out << "\n  high priority: " << high_priority_requests
@@ -627,11 +705,21 @@ ServingReport::serialize_bits() const
     append_bits(out, prefill_iterations);
     append_bits(out, decode_iterations);
     append_bits(out, preemptions);
+    append_bits(out, mean_ttft);
     append_bits(out, p50_ttft);
     append_bits(out, p95_ttft);
     append_bits(out, max_ttft);
     append_bits(out, high_priority_requests);
     append_bits(out, p95_high_latency);
+    append_bits(out, prompt_tokens);
+    append_bits(out, padded_prompt_tokens);
+    append_bits(out,
+                static_cast<int>(prefill_bucket_iterations.size()));
+    for (const PrefillBucket& b : prefill_bucket_iterations) {
+        append_bits(out, b.batch);
+        append_bits(out, b.prompt_len);
+        append_bits(out, b.iterations);
+    }
     return out;
 }
 
@@ -646,6 +734,15 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
     finalize_buckets(opts_.batch_buckets, opts_.max_batch, "batch");
     finalize_buckets(opts_.prefill_buckets, opts_.max_prefill_batch,
                      "prefill");
+    util::check(opts_.max_prompt_len >= 0,
+                "Server: max_prompt_len must be >= 0");
+    if (opts_.max_prompt_len >= 1) {
+        finalize_buckets(opts_.prompt_buckets, opts_.max_prompt_len,
+                         "prompt");
+    } else {
+        util::check(opts_.prompt_buckets.empty(),
+                    "Server: prompt buckets need max_prompt_len");
+    }
 }
 
 // NOTE: this loop intentionally does NOT delegate to DisaggRun. It is
@@ -792,7 +889,7 @@ Server::serve(const std::vector<double>& arrivals,
 
 ServingReport
 Server::serve(const std::vector<Request>& requests,
-              const ProgramSource& prefill_programs,
+              const PrefillProgramSource& prefill_programs,
               const ProgramSource& decode_programs) const
 {
     DisaggRun run(machine_, opts_, requests, prefill_programs,

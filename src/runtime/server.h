@@ -12,10 +12,15 @@
  * steady-state decode fast path.
  *
  * Serving is disaggregated: requests carry a phase — prefill (the
- * prompt must be ingested by a full-sequence forward iteration first)
- * or decode (token generation only) — and prefill and decode form
- * separate arrival classes with their own batch buckets and compiled
- * program families, sharing one EngineState residency pool. Requests
+ * prompt must be ingested by a forward iteration first) or decode
+ * (token generation only) — and prefill and decode form separate
+ * arrival classes with their own batch buckets and compiled program
+ * families, sharing one EngineState residency pool. Prompts carry
+ * their own length: queued prompts are grouped into the smallest
+ * covering (batch, prompt-length) bucket, so a short prompt runs a
+ * prefill program compiled at its bucketed length instead of paying
+ * for a full-sequence forward pass (the report's padding-waste
+ * counters measure exactly what that saves). Requests
  * also carry a priority class: a high-priority arrival preempts a
  * running all-normal iteration at the next step() boundary — the
  * victim's interpreter frame is parked, one iteration serving the
@@ -82,6 +87,11 @@ struct Request {
     /// Decode tokens generated after the prefill (>= 1); the request
     /// completes when the last one is produced.
     int decode_tokens = 1;
+    /// Prompt tokens the prefill iteration must ingest. 0 (default)
+    /// means the full model sequence length
+    /// (ServerOptions::max_prompt_len) — the fixed-shape scheduler's
+    /// behavior. Ignored for decode-phase requests.
+    int prompt_len = 0;
 };
 
 /// Helpers to build Request traces from plain arrival times.
@@ -101,6 +111,23 @@ std::vector<Request> make_request_trace(
     const std::vector<double>& arrivals, int decode_tokens,
     double prefill_frac, double high_frac, uint64_t seed);
 
+/**
+ * Assigns every request a geometric-tailed prompt length in
+ * [1, @p max_len]: lengths are 1 + an inverse-CDF exponential of mean
+ * @p mean_len drawn from a seeded mt19937_64, clamped to @p max_len —
+ * bit-identical for one @p seed on every platform and standard
+ * library (one draw per request regardless of phase, so the tagging
+ * never depends on the phase mix). The length-skewed trace is where
+ * (batch, prompt-length) bucketed prefill beats full-length prefill.
+ */
+void tag_prompt_lengths(std::vector<Request>& requests, int max_len,
+                        double mean_len, uint64_t seed);
+
+/// Smallest of the sorted @p buckets covering @p need; the largest
+/// bucket when none does. The server's bucket-selection rule for
+/// decode batches, prefill batches, and prompt lengths alike.
+int pick_bucket(const std::vector<int>& buckets, int need);
+
 /// Serving knobs.
 struct ServerOptions {
     /// Largest decode batch one iteration can run (slot count).
@@ -117,6 +144,18 @@ struct ServerOptions {
     /// Prefill program buckets; empty = powers of two up to
     /// max_prefill_batch.
     std::vector<int> prefill_buckets;
+    /// Model sequence length: the longest prompt a prefill iteration
+    /// can ingest, and what Request::prompt_len == 0 resolves to.
+    /// Required (>= 1) whenever a trace contains prefill-phase
+    /// requests; 0 (default) = decode-only serving.
+    int max_prompt_len = 0;
+    /// Prompt-length buckets prefill programs are compiled at; the
+    /// server picks the smallest bucket covering the longest prompt
+    /// in the claimed batch. Empty = powers of two up to
+    /// max_prompt_len. A single {max_prompt_len} bucket forces every
+    /// prompt through full-length prefill (the fixed-shape
+    /// scheduler).
+    std::vector<int> prompt_buckets;
     /// Keep operator weights resident in SRAM across iterations
     /// (evicted per residency_policy under pressure); off = every
     /// iteration re-preloads from HBM like a one-shot run.
@@ -176,6 +215,7 @@ struct ServingReport {
     int preemptions = 0;
     /// Time to first token (arrival -> prefill completion), over
     /// prefill-phase requests only; zero when the trace has none.
+    double mean_ttft = 0.0;
     double p50_ttft = 0.0;
     double p95_ttft = 0.0;
     double max_ttft = 0.0;
@@ -183,6 +223,23 @@ struct ServingReport {
     /// p95 request latency within the high-priority class (zero when
     /// the trace has none).
     double p95_high_latency = 0.0;
+
+    // --- variable-length prefill ---
+    /// Actual prompt tokens ingested across prefill iterations.
+    int64_t prompt_tokens = 0;
+    /// Token slots the compiled prefill programs computed beyond the
+    /// actual prompts: batch padding up to the batch bucket plus
+    /// length padding up to the prompt bucket. The waste that
+    /// (batch, prompt-length) bucketing exists to shrink.
+    int64_t padded_prompt_tokens = 0;
+    /// Iterations run per compiled (batch, prompt_len) prefill
+    /// bucket, sorted by (prompt_len, batch).
+    struct PrefillBucket {
+        int batch = 0;
+        int prompt_len = 0;
+        int iterations = 0;
+    };
+    std::vector<PrefillBucket> prefill_bucket_iterations;
 
     /// Multi-line human summary.
     std::string summary() const;
@@ -206,6 +263,14 @@ class Server {
     using ProgramSource =
         std::function<std::shared_ptr<const sim::SimProgram>(int batch)>;
 
+    /// Compiled prefill program for one (batch, prompt_len) bucket —
+    /// the two-dimensional grid (see ServingCompiler::program(batch,
+    /// prompt_len)); the same validity and identity rules as
+    /// ProgramSource apply.
+    using PrefillProgramSource =
+        std::function<std::shared_ptr<const sim::SimProgram>(
+            int batch, int prompt_len)>;
+
     Server(const sim::Machine& machine, ServerOptions opts);
 
     /// Serves @p arrivals (sorted seconds) to completion as
@@ -219,16 +284,17 @@ class Server {
     /**
      * The disaggregated scheduler: serves @p requests (sorted by
      * arrival) to completion. Prefill-phase requests are batched into
-     * prefill iterations (@p prefill_programs buckets, prefill-first
-     * scheduling), then join the decode class; decode iterations run
-     * @p decode_programs buckets. Both program families execute on
-     * one EngineState, sharing its residency pool — give them
-     * disjoint op-id namespaces (ServingCompiler::Options). @p
-     * prefill_programs may be empty when no request has
-     * Phase::kPrefill.
+     * prefill iterations — the claimed prompts are grouped into the
+     * smallest covering (batch, prompt-length) bucket of @p
+     * prefill_programs, prefill-first scheduling — then join the
+     * decode class; decode iterations run @p decode_programs buckets.
+     * Both program families execute on one EngineState, sharing its
+     * residency pool — give them disjoint op-id namespaces
+     * (ServingCompiler::Options). @p prefill_programs may be empty
+     * when no request has Phase::kPrefill.
      */
     ServingReport serve(const std::vector<Request>& requests,
-                        const ProgramSource& prefill_programs,
+                        const PrefillProgramSource& prefill_programs,
                         const ProgramSource& decode_programs) const;
 
     const ServerOptions& options() const { return opts_; }

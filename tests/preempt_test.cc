@@ -421,6 +421,7 @@ TEST_F(DisaggTest, PreemptionOnWithoutHighTrafficIsBitIdentical)
     runtime::ServerOptions on;
     on.max_batch = 4;
     on.max_prefill_batch = 2;
+    on.max_prompt_len = 128;
     on.preempt = true;
     runtime::ServerOptions off = on;
     off.preempt = false;
@@ -428,7 +429,7 @@ TEST_F(DisaggTest, PreemptionOnWithoutHighTrafficIsBitIdentical)
     auto serve = [&](const runtime::ServerOptions& o) {
         runtime::Server server(dc.machine(), o);
         return server.serve(
-            requests, [&](int b) { return pc.program(b); },
+            requests, [&](int b, int len) { return pc.program(b, len); },
             [&](int b) { return dc.program(b); });
     };
     auto rep_on = serve(on);
@@ -468,12 +469,13 @@ TEST_F(DisaggTest, HighPriorityArrivalPreemptsAndCutsItsLatency)
     runtime::ServerOptions sopts;
     sopts.max_batch = 4;
     sopts.max_prefill_batch = 2;
+    sopts.max_prompt_len = 128;
     auto serve = [&](bool preempt) {
         runtime::ServerOptions o = sopts;
         o.preempt = preempt;
         runtime::Server server(dc.machine(), o);
         return server.serve(
-            requests, [&](int b) { return pc.program(b); },
+            requests, [&](int b, int len) { return pc.program(b, len); },
             [&](int b) { return dc.program(b); });
     };
 
@@ -518,9 +520,10 @@ TEST_F(DisaggTest, DecodeResidencySurvivesPrefillInterleaving)
     runtime::ServerOptions sopts;
     sopts.max_batch = 4;
     sopts.max_prefill_batch = 1;
+    sopts.max_prompt_len = 128;
     runtime::Server server(dc.machine(), sopts);
     auto rep = server.serve(
-        requests, [&](int b) { return pc.program(b); },
+        requests, [&](int b, int len) { return pc.program(b, len); },
         [&](int b) { return dc.program(b); });
     EXPECT_EQ(rep.prefill_iterations, 6);
     EXPECT_GT(rep.decode_iterations, 6);

@@ -79,6 +79,16 @@ usage(const char* argv0)
         "  --high-frac F     fraction of requests that are\n"
         "                    high-priority (default 0)\n"
         "  --prefill-batch N largest prefill batch (default 4)\n"
+        "  --prompt-buckets L1,L2,...\n"
+        "                    prompt-length buckets prefill programs\n"
+        "                    are compiled at (sorted, largest must\n"
+        "                    equal --seq); default: powers of two up\n"
+        "                    to --seq. A single bucket equal to --seq\n"
+        "                    forces full-length prefill\n"
+        "  --prompt-dist D   prompt lengths: 'full' (default; every\n"
+        "                    prompt is --seq tokens) or\n"
+        "                    'geometric:MEAN' (seeded geometric tail\n"
+        "                    of that mean, clamped to --seq)\n"
         "  --policy P        residency policy: retire-order (default)\n"
         "                    or frequency\n"
         "  --no-preempt      high-priority arrivals never interrupt a\n"
@@ -136,6 +146,8 @@ serve_main(int argc, char** argv, const char* argv0)
     double prefill_frac = 0.0;
     double high_frac = 0.0;
     int prefill_batch = 4;
+    std::string prompt_buckets_arg;
+    std::string prompt_dist = "full";
     std::string policy = "retire-order";
     bool preempt = true;
     bool residency = true;
@@ -185,6 +197,10 @@ serve_main(int argc, char** argv, const char* argv0)
         } else if (const char* v = arg("--prefill-batch")) {
             prefill_batch =
                 util::parse_int_arg(v, "--prefill-batch", 1, 4096);
+        } else if (const char* v = arg("--prompt-buckets")) {
+            prompt_buckets_arg = v;
+        } else if (const char* v = arg("--prompt-dist")) {
+            prompt_dist = v;
         } else if (const char* v = arg("--policy")) {
             policy = v;
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
@@ -196,6 +212,31 @@ serve_main(int argc, char** argv, const char* argv0)
         } else {
             usage(argv0);
         }
+    }
+    // Strict parses of the structured flags: a malformed bucket list
+    // or distribution spec is fatal, never silently defaulted.
+    std::vector<int> prompt_buckets;
+    if (!prompt_buckets_arg.empty()) {
+        // getline never yields the empty element after a trailing
+        // delimiter, so reject it up front.
+        if (prompt_buckets_arg.back() == ',') {
+            util::fatal("--prompt-buckets: trailing ','");
+        }
+        std::stringstream ss(prompt_buckets_arg);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            prompt_buckets.push_back(util::parse_int_arg(
+                item.c_str(), "--prompt-buckets", 1, 1 << 20));
+        }
+    }
+    double prompt_mean = 0.0;  // 0 = full-length prompts
+    if (prompt_dist.rfind("geometric:", 0) == 0) {
+        prompt_mean = util::parse_double_arg(
+            prompt_dist.c_str() + std::strlen("geometric:"),
+            "--prompt-dist geometric:", 1e-9, 1e9);
+    } else if (prompt_dist != "full") {
+        util::fatal("unknown prompt distribution: " + prompt_dist +
+                    " (expected 'full' or 'geometric:MEAN')");
     }
     sim::ResidencyPolicy residency_policy;
     if (policy == "retire-order") {
@@ -220,6 +261,8 @@ serve_main(int argc, char** argv, const char* argv0)
     sopts.max_batch = batch;
     sopts.tokens_per_request = tokens;
     sopts.max_prefill_batch = prefill_batch;
+    sopts.max_prompt_len = seq;
+    sopts.prompt_buckets = prompt_buckets;
     sopts.keep_resident = residency;
     sopts.residency_policy = residency_policy;
     sopts.preempt = preempt;
@@ -231,6 +274,10 @@ serve_main(int argc, char** argv, const char* argv0)
     std::vector<runtime::Request> trace = runtime::make_request_trace(
         arrivals, tokens, prefill_frac, high_frac,
         static_cast<uint64_t>(seed));
+    if (prompt_mean > 0.0) {
+        runtime::tag_prompt_lengths(trace, seq, prompt_mean,
+                                    static_cast<uint64_t>(seed));
+    }
 
     std::printf("serving    : %s, %s, batch %d, seq %d\n",
                 model_name.c_str(), sc.mode().c_str(), batch, seq);
@@ -244,13 +291,13 @@ serve_main(int argc, char** argv, const char* argv0)
                     requests, tokens);
     }
     std::printf("scheduler  : prefill-frac %g, high-frac %g, "
-                "policy %s, preemption %s\n",
-                prefill_frac, high_frac,
+                "prompts %s, policy %s, preemption %s\n",
+                prefill_frac, high_frac, prompt_dist.c_str(),
                 sim::residency_policy_name(residency_policy).c_str(),
                 preempt ? "on" : "off");
-    runtime::ServingReport rep =
-        server.serve(trace, [&](int b) { return pc.program(b); },
-                     [&](int b) { return sc.program(b); });
+    runtime::ServingReport rep = server.serve(
+        trace, [&](int b, int len) { return pc.program(b, len); },
+        [&](int b) { return sc.program(b); });
     std::printf("%s\n", rep.summary().c_str());
     auto stats = cache.stats();
     std::printf("plan cache : %d entries, %lld hits, %lld misses "
