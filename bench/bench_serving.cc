@@ -25,6 +25,12 @@
  * show lower mean TTFT and fewer padded prompt tokens on the same
  * trace.
  *
+ * A fifth phase sweeps the per-core KV residency budget on that same
+ * length-skewed trace: with the budget off, KV memory is free (the
+ * pre-KV scheduler); as the budget shrinks, decode KV segments spill
+ * to HBM, refetch stalls and deferred prompt admissions appear, and
+ * the TTFT / goodput cliff of KV thrash becomes visible per design.
+ *
  * Replica cells of every grid are independent: they fan out over
  * util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into per-cell slots
  * and are printed by a serial scan, so stdout and the CSV are
@@ -38,6 +44,7 @@
 #include "bench_common.h"
 #include "elk/plan_cache.h"
 #include "elk/serving_compiler.h"
+#include "graph/model_builder.h"
 #include "runtime/server.h"
 #include "util/bits.h"
 
@@ -291,5 +298,80 @@ main(int argc, char** argv)
         std::to_string(static_cast<int>(prompt_mean)) +
         " tok, bucketed vs full-length prefill)");
     varlen.write_csv("serving_varlen");
+
+    // Phase 5: KV-cache residency — the phase-4 length-skewed trace
+    // served under a sweep of per-core KV budgets. 0 = KV modeling
+    // off (KV memory free, the pre-KV scheduler); finite budgets make
+    // every request's decode KV state occupy SRAM next to resident
+    // weights, and shrinking the budget walks off the cliff: spills,
+    // refetch stalls, and deferred prompt admissions pile onto TTFT
+    // and goodput.
+    const uint64_t usable = chip.usable_sram_per_core();
+    struct KvPoint {
+        const char* label;
+        uint64_t budget;
+    };
+    const std::vector<KvPoint> kv_points = {
+        {"off", 0},
+        {"1/2 sram", usable / 2},
+        {"1/8 sram", usable / 8},
+        {"1/32 sram", usable / 32},
+    };
+    struct KvCell {
+        int mode;
+        int point;
+        runtime::ServingReport rep;
+    };
+    std::vector<KvCell> kcells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (size_t p = 0; p < kv_points.size(); ++p) {
+            kcells.push_back(
+                {static_cast<int>(m), static_cast<int>(p), {}});
+        }
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(kcells.size()), [&](int c) {
+            int m = kcells[c].mode;
+            double rate = 0.6 * closed[m].tokens_per_s / tokens;
+            auto trace = runtime::make_request_trace(
+                runtime::ArrivalTrace::poisson(requests, rate,
+                                               /*seed=*/19),
+                tokens, /*prefill_frac=*/1.0, /*high_frac=*/0.0,
+                /*seed=*/19);
+            runtime::tag_prompt_lengths(trace, seq, prompt_mean,
+                                        /*seed=*/19);
+            runtime::ServerOptions kopts = sopts;
+            kopts.max_prefill_batch = prefill_batch;
+            kopts.max_prompt_len = seq;
+            kopts.prompt_buckets = varlen_buckets;
+            kopts.kv_budget = kv_points[kcells[c].point].budget;
+            kopts.kv_bytes_per_token =
+                graph::kv_bytes_per_token(model);
+            runtime::Server server(compilers[m]->machine(), kopts);
+            kcells[c].rep = server.serve(
+                trace,
+                [&](int b, int len) {
+                    return prefills[m]->program(b, len);
+                },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    util::Table kv({"design", "kv budget", "ttft mean(ms)", "p50(ms)",
+                    "tokens/s", "kv peak(KB)", "evict", "refetch",
+                    "stall(ms)", "deferred", "digest"});
+    for (const KvCell& cell : kcells) {
+        kv.add(compilers[cell.mode]->mode(),
+               kv_points[cell.point].label,
+               runtime::ms(cell.rep.mean_ttft),
+               runtime::ms(cell.rep.p50_latency),
+               cell.rep.tokens_per_s, cell.rep.kv_bytes_peak / 1024,
+               cell.rep.kv_evictions, cell.rep.kv_refetches,
+               runtime::ms(cell.rep.kv_stall),
+               cell.rep.deferred_admissions, digest(cell.rep));
+    }
+    kv.print("KV-cache residency at 0.6x capacity (geometric mean " +
+             std::to_string(static_cast<int>(prompt_mean)) +
+             " tok prompts, per-core KV budget sweep)");
+    kv.write_csv("serving_kv");
     return 0;
 }

@@ -11,8 +11,9 @@
  * boundary.
  *
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
- *                   [prefill_frac] [high_frac] [prompt_mean]
- *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256
+ *                   [prefill_frac] [high_frac] [prompt_mean] \
+ *                   [kv_budget_kb]
+ *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256 2048
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
@@ -21,6 +22,10 @@
  * prompt_mean (default 0) draws seeded geometric prompt lengths of
  * that mean (clamped to seq), served through the (batch,
  * prompt-length) prefill bucket grid; 0 = every prompt is seq tokens.
+ * kv_budget_kb (default 0 = KV modeling off) caps the per-core SRAM
+ * each design may hold of decode KV state — requests' KV segments
+ * then compete with resident weights, spill to HBM past the budget,
+ * and backpressure prompt admission (docs/SERVING.md).
  */
 #include <cstdio>
 #include <string>
@@ -64,6 +69,10 @@ main(int argc, char** argv)
         argc > 9
             ? util::parse_double_arg(argv[9], "prompt_mean", 0.0, 1e9)
             : 0.0;
+    int kv_budget_kb =
+        argc > 10
+            ? util::parse_int_arg(argv[10], "kv_budget_kb", 0, 1 << 30)
+            : 0;
 
     hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
     graph::ModelConfig model = graph::model_by_name(name);
@@ -97,11 +106,18 @@ main(int argc, char** argv)
                     prefill_frac * 100, high_frac * 100);
     }
 
+    if (kv_budget_kb > 0) {
+        std::printf("kv residency: %d KB/core budget, %llu bytes/token\n",
+                    kv_budget_kb,
+                    static_cast<unsigned long long>(
+                        graph::kv_bytes_per_token(model)));
+    }
+
     compiler::PlanCache cache;
     util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
                        "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
-                       "preempts", "padded_tok", "preload first(ms)",
-                       "steady(ms)"});
+                       "preempts", "padded_tok", "kv_peak(KB)",
+                       "deferred", "preload first(ms)", "steady(ms)"});
 
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
@@ -117,6 +133,8 @@ main(int argc, char** argv)
         sopts.max_batch = batch;
         sopts.tokens_per_request = tokens;
         sopts.max_prompt_len = seq;
+        sopts.kv_budget = static_cast<uint64_t>(kv_budget_kb) * 1024;
+        sopts.kv_bytes_per_token = graph::kv_bytes_per_token(model);
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
             trace, [&](int b, int len) { return pc.program(b, len); },
@@ -128,6 +146,8 @@ main(int argc, char** argv)
                   runtime::pct(rep.hbm_util), rep.mean_queue_depth,
                   rep.preemptions,
                   rep.padded_prompt_tokens,
+                  rep.kv_bytes_peak / 1024,
+                  rep.deferred_admissions,
                   runtime::ms(rep.first_decode_preload),
                   runtime::ms(rep.steady_decode_preload));
     }

@@ -40,6 +40,8 @@ struct PlanKey {
     int seq = 0;
     std::string options;  ///< search-knob digest (windows, orders...).
 
+    /// Lexicographic over every field, in declaration order — the
+    /// map order keys() lists entries in.
     bool operator<(const PlanKey& o) const;
 
     /// Human-readable form ("model|chip|mode|batch|seq|opts").
@@ -62,10 +64,11 @@ PlanKey make_plan_key(const graph::Graph& graph,
 /// Thread-safe (key -> CompileResult) store with hit/miss counters.
 class PlanCache {
   public:
+    /// Lifetime counters, returned by stats().
     struct Stats {
-        int64_t hits = 0;
-        int64_t misses = 0;
-        int entries = 0;
+        int64_t hits = 0;    ///< lookups that found an entry.
+        int64_t misses = 0;  ///< lookups that compiled fresh.
+        int entries = 0;     ///< distinct keys currently cached.
     };
 
     /// Cached result for @p key, or nullptr; counts a hit or miss.
@@ -76,6 +79,7 @@ class PlanCache {
     void insert(const PlanKey& key,
                 std::shared_ptr<const CompileResult> result);
 
+    /// Snapshot of the lifetime hit/miss/entry counters.
     Stats stats() const;
 
     /// Human-readable key of every cached entry, in key order — the

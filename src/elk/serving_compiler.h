@@ -65,6 +65,7 @@ class ServingCompiler {
 
     /// Serving-specific knobs (the CompileOptions cover the search).
     struct Options {
+        /// Graph family every bucket of this compiler builds.
         GraphKind kind = GraphKind::kDecode;
         /// Added to every lowered SimOp id (see kPrefillIdOffset).
         int op_id_offset = 0;
@@ -92,6 +93,8 @@ class ServingCompiler {
     ServingCompiler(graph::ModelConfig model, int seq,
                     const hw::ChipConfig& cfg, CompileOptions opts,
                     PlanCache* cache, int jobs = 1);
+    /// Same, with explicit serving knobs — Options::prefill() for the
+    /// prefill family's conventional id namespace.
     ServingCompiler(graph::ModelConfig model, int seq,
                     const hw::ChipConfig& cfg, CompileOptions opts,
                     PlanCache* cache, int jobs, Options serving_opts);

@@ -38,6 +38,18 @@ class Graph {
     int seq() const { return seq_; }
     void set_seq(int seq) { seq_ = seq; }
 
+    /// KV-cache bytes one token appends across the whole machine
+    /// (2 x layers x kv_heads x head_dim x dtype), stamped by the
+    /// decode/forward model builders next to seq(). 0 = the workload
+    /// keeps no KV state (DiT, or a graph loaded from an .egf file).
+    /// The serving runtime sizes per-request KV residency segments
+    /// from it (see runtime::ServerOptions::kv_bytes_per_token).
+    uint64_t kv_bytes_per_token() const { return kv_bytes_per_token_; }
+    void set_kv_bytes_per_token(uint64_t bytes)
+    {
+        kv_bytes_per_token_ = bytes;
+    }
+
     /// All operators in execution order.
     const std::vector<Operator>& ops() const { return ops_; }
 
@@ -71,6 +83,7 @@ class Graph {
   private:
     std::string name_;
     int seq_ = 0;
+    uint64_t kv_bytes_per_token_ = 0;
     std::vector<Operator> ops_;
     int num_layers_ = 0;
 };

@@ -174,12 +174,20 @@ emit_block(LayerBuilder& lb, const ModelConfig& cfg, int layer, long tokens,
 
 }  // namespace
 
+uint64_t
+kv_bytes_per_token(const ModelConfig& cfg)
+{
+    return 2ull * cfg.layers * cfg.kv_heads * cfg.head_dim *
+           cfg.dtype_bytes;
+}
+
 Graph
 build_decode_graph(const ModelConfig& cfg, int batch, int seq)
 {
     util::check(batch > 0 && seq > 0, "decode graph: bad batch/seq");
     Graph graph(cfg.name);
     graph.set_seq(seq);
+    graph.set_kv_bytes_per_token(kv_bytes_per_token(cfg));
     LayerBuilder lb(graph, cfg.dtype_bytes);
 
     for (int layer = 0; layer < cfg.layers; ++layer) {
@@ -200,6 +208,7 @@ build_forward_graph(const ModelConfig& cfg, int batch, int seq)
     util::check(batch > 0 && seq > 0, "forward graph: bad batch/seq");
     Graph graph(cfg.name + "-fwd");
     graph.set_seq(seq);
+    graph.set_kv_bytes_per_token(kv_bytes_per_token(cfg));
     LayerBuilder lb(graph, cfg.dtype_bytes);
 
     const long tokens = static_cast<long>(batch) * seq;

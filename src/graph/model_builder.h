@@ -19,6 +19,15 @@
 namespace elk::graph {
 
 /**
+ * KV-cache bytes one token appends for one request across the whole
+ * machine: 2 (K and V) x layers x kv_heads x head_dim x dtype. The
+ * decode and forward builders stamp it on their graphs
+ * (Graph::kv_bytes_per_token), and the serving drivers derive the
+ * default per-request KV footprint from it.
+ */
+uint64_t kv_bytes_per_token(const ModelConfig& cfg);
+
+/**
  * LLM decoding step: batch @p batch requests, each with a KV cache of
  * @p seq past tokens. Weights and the KV cache stream from HBM.
  */

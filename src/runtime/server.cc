@@ -56,6 +56,7 @@ engine_options(const ServerOptions& opts)
 {
     sim::EngineState::Options eopts;
     eopts.policy = opts.residency_policy;
+    eopts.kv_budget = opts.kv_budget;
     return eopts;
 }
 
@@ -130,7 +131,8 @@ class DisaggRun {
     /// a preemption iteration, which must not size the residency
     /// budget — its working set (a mini batch) is not representative.
     void account(const IterOutcome& o, bool decode, bool nested);
-    void run_prefill_iteration(bool high_only, bool interruptible);
+    void run_prefill_iteration(bool high_only, bool interruptible,
+                               bool force_admit = false);
     void run_decode_iteration(bool interruptible);
     /// Nested decode iteration for high-priority requests only, while
     /// the preempted victim is parked.
@@ -144,6 +146,35 @@ class DisaggRun {
         const int len = requests_[r].prompt_len;
         return len > 0 ? len : opts_.max_prompt_len;
     }
+
+    // --- KV residency (all no-ops while kv_on_ is false, which is
+    // --- what keeps kv_budget = 0 bit-identical to the pre-KV loop)
+
+    /// Per-core bytes of @p tokens tokens of KV state.
+    uint64_t kv_per_core(int64_t tokens) const
+    {
+        const uint64_t cores =
+            static_cast<uint64_t>(machine_.config().total_cores());
+        return (tokens * opts_.kv_bytes_per_token + cores - 1) / cores;
+    }
+
+    /// Whether the next waiting prompt's KV can be admitted right now:
+    /// it fits the budget next to the resident segments, or it could
+    /// never fit at all (oversized segments are born spilled instead
+    /// of deferred forever).
+    bool prefill_admissible() const;
+
+    /// Ensures every member of @p members has a resident, pinned KV
+    /// segment where possible, allocating decode-phase arrivals'
+    /// segments (their KV migrates in from HBM) and fetching spilled
+    /// ones back, then charges the accumulated HBM stream time as an
+    /// idle-clock stall before the iteration.
+    void kv_prepare(const std::vector<int>& members);
+
+    /// Post-iteration bookkeeping for one member: releases its pin
+    /// and either grows the segment by the decoded token or frees it
+    /// (@p completed).
+    void kv_retire(int r, bool completed);
 
     const sim::Machine& machine_;
     const ServerOptions& opts_;
@@ -172,6 +203,14 @@ class DisaggRun {
     int steady_iterations_ = 0;
     /// (prompt_len bucket, batch bucket) -> prefill iterations.
     std::map<std::pair<int, int>, int> bucket_iters_;
+
+    /// KV modeling on (ServerOptions::kv_budget > 0).
+    bool kv_on_ = false;
+    /// Per request: tokens its KV segment covers (-1 = no segment).
+    std::vector<int64_t> kv_tokens_;
+    /// Per request: this run holds a kv_pin on the segment.
+    std::vector<bool> kv_pinned_;
+    util::WeightedMean kv_mean_;
 };
 
 void
@@ -228,6 +267,82 @@ DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
     return members;
 }
 
+bool
+DisaggRun::prefill_admissible() const
+{
+    const std::deque<int>& q = !pre_hi_.empty() ? pre_hi_ : pre_lo_;
+    if (q.empty()) {
+        return true;
+    }
+    uint64_t bytes = kv_per_core(effective_prompt_len(q.front()));
+    return state_.kv_would_fit(bytes) || bytes > opts_.kv_budget;
+}
+
+void
+DisaggRun::kv_prepare(const std::vector<int>& members)
+{
+    int64_t stream_tokens = 0;
+    for (int r : members) {
+        if (kv_tokens_[r] < 0) {
+            // Decode-phase arrival: its KV state exists elsewhere
+            // (e.g. a prefill tier) and migrates in over HBM.
+            const int64_t ctx = effective_prompt_len(r);
+            kv_tokens_[r] = ctx;
+            stream_tokens += ctx;
+            ++rep_.kv_refetches;
+            state_.kv_alloc(r, kv_per_core(ctx));
+        } else if (!state_.kv_resident(r)) {
+            // Spilled under budget/pressure: stream it back.
+            stream_tokens += kv_tokens_[r];
+            ++rep_.kv_refetches;
+            state_.kv_fetch(r);
+        }
+        if (state_.kv_resident(r) && !kv_pinned_[r]) {
+            state_.kv_pin(r);
+            kv_pinned_[r] = true;
+        }
+    }
+    if (stream_tokens > 0) {
+        // One serial HBM transfer before the iteration starts; the
+        // engine is idle, so this is a pure clock advance. The
+        // window still enters every time-weighted mean — HBM is
+        // saturated for the transfer part, the fabric is quiet.
+        const hw::ChipConfig& cfg = machine_.config();
+        double stream =
+            static_cast<double>(stream_tokens) *
+            static_cast<double>(opts_.kv_bytes_per_token) /
+            cfg.hbm_total_bw;
+        double dt = cfg.hbm_access_latency_s + stream;
+        rep_.kv_stall += dt;
+        depth_mean_.add(dt, static_cast<double>(waiting_total()));
+        kv_mean_.add(dt, static_cast<double>(state_.kv_bytes()));
+        hbm_mean_.add(dt, stream / dt);
+        noc_mean_.add(dt, 0.0);
+        state_.run_to(state_.now() + dt);
+        now_ = state_.now();
+    }
+}
+
+void
+DisaggRun::kv_retire(int r, bool completed)
+{
+    if (kv_pinned_[r]) {
+        state_.kv_unpin(r);
+        kv_pinned_[r] = false;
+    }
+    if (completed) {
+        state_.kv_free(r);
+        kv_tokens_[r] = -1;
+        return;
+    }
+    // The decoded token appends to the segment; growth uses the
+    // cumulative per-core rounding so the footprint never drifts
+    // from kv_per_core(tokens).
+    uint64_t before = kv_per_core(kv_tokens_[r]);
+    ++kv_tokens_[r];
+    state_.kv_grow(r, kv_per_core(kv_tokens_[r]) - before);
+}
+
 DisaggRun::IterOutcome
 DisaggRun::execute(const sim::SimProgram& program, bool can_preempt)
 {
@@ -256,8 +371,13 @@ DisaggRun::preempt_for_high()
     admit();  // the triggering high-priority request joins its queue
     if (!pre_hi_.empty()) {
         ++rep_.preemptions;
+        // A high-priority prompt jumps KV backpressure too: its
+        // segment is force-admitted (spilling unpinned segments, or
+        // born spilled) rather than deferred — preemption exists to
+        // cut its latency, and the spill cost is now modeled.
         run_prefill_iteration(/*high_only=*/true,
-                              /*interruptible=*/false);
+                              /*interruptible=*/false,
+                              /*force_admit=*/kv_on_);
     } else if (!dec_hi_.empty()) {
         ++rep_.preemptions;
         run_decode_mini_high();
@@ -296,16 +416,62 @@ DisaggRun::account(const IterOutcome& o, bool decode, bool nested)
     hbm_mean_.add(o.duration, o.r.hbm_util);
     noc_mean_.add(o.duration, o.r.noc_util);
     depth_mean_.add(o.duration, static_cast<double>(waiting_total()));
+    if (kv_on_) {
+        kv_mean_.add(o.duration, static_cast<double>(state_.kv_bytes()));
+    }
     rep_.peak_sram_per_core =
         std::max(rep_.peak_sram_per_core, o.r.peak_sram_per_core);
     rep_.memory_exceeded |= o.r.memory_exceeded;
 }
 
 void
-DisaggRun::run_prefill_iteration(bool high_only, bool interruptible)
+DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
+                                 bool force_admit)
 {
-    std::vector<int> members =
-        claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only);
+    std::vector<int> members;
+    if (!kv_on_) {
+        members =
+            claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only);
+    } else {
+        // KV-gated claiming: members are taken in the usual order
+        // (high first, FIFO within a class) but each prompt must fit
+        // its KV segment into the budget next to what is already
+        // resident. The first prompt that does not fit stops the
+        // claim — admitting later ones would starve it — and counts
+        // one admission deferral. Oversized prompts (KV bigger than
+        // the whole budget) can never fit and are admitted born
+        // spilled instead of deferred forever; force_admit pushes the
+        // head prompt through the same way when deferring would leave
+        // the server with no other work.
+        bool deferred = false;
+        auto take = [&](std::deque<int>& q) {
+            while (!q.empty() && !deferred &&
+                   static_cast<int>(members.size()) <
+                       opts_.max_prefill_batch) {
+                int r = q.front();
+                const int64_t len = effective_prompt_len(r);
+                const uint64_t bytes = kv_per_core(len);
+                bool oversized = bytes > opts_.kv_budget;
+                if (!state_.kv_would_fit(bytes) && !oversized &&
+                    !(force_admit && members.empty())) {
+                    deferred = true;
+                    ++rep_.deferred_admissions;
+                    break;
+                }
+                q.pop_front();
+                members.push_back(r);
+                kv_tokens_[r] = len;
+                if (state_.kv_alloc(r, bytes)) {
+                    state_.kv_pin(r);
+                    kv_pinned_[r] = true;
+                }
+            }
+        };
+        take(pre_hi_);
+        if (!high_only && !deferred) {
+            take(pre_lo_);
+        }
+    }
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     int bucket = pick_bucket(opts_.prefill_buckets,
@@ -338,8 +504,14 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible)
     account(o, /*decode=*/false, /*nested=*/high_only);
 
     // Prompt ingested: record TTFT and hand the request to the decode
-    // class (high-priority members keep their class).
+    // class (high-priority members keep their class). The KV segment
+    // (already sized to the prompt) stays for the decode phase; only
+    // the iteration's pin is released.
     for (int r : members) {
+        if (kv_on_ && kv_pinned_[r]) {
+            state_.kv_unpin(r);
+            kv_pinned_[r] = false;
+        }
         ttfts_.push_back(now_ - requests_[r].arrival);
         (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
             .push_back(r);
@@ -366,6 +538,9 @@ DisaggRun::run_decode_iteration(bool interruptible)
     util::check(program != nullptr,
                 "Server: decode ProgramSource returned no program");
 
+    if (kv_on_) {
+        kv_prepare(running_);
+    }
     bool protected_iter = false;
     for (int r : running_) {
         protected_iter |= requests_[r].priority == Priority::kHigh;
@@ -376,7 +551,11 @@ DisaggRun::run_decode_iteration(bool interruptible)
 
     // Every running request produced one token this iteration.
     for (auto it = running_.begin(); it != running_.end();) {
-        if (--tokens_left_[*it] == 0) {
+        bool done = --tokens_left_[*it] == 0;
+        if (kv_on_) {
+            kv_retire(*it, done);
+        }
+        if (done) {
             latencies_[*it] = now_ - requests_[*it].arrival;
             ++completed_;
             it = running_.erase(it);
@@ -400,6 +579,9 @@ DisaggRun::run_decode_mini_high()
     util::check(program != nullptr,
                 "Server: decode ProgramSource returned no program");
 
+    if (kv_on_) {
+        kv_prepare(mini);
+    }
     IterOutcome o = execute(*program, /*can_preempt=*/false);
     account(o, /*decode=*/true, /*nested=*/true);
     rep_.tokens += static_cast<int64_t>(mini.size());
@@ -409,7 +591,11 @@ DisaggRun::run_decode_mini_high()
     // next boundary.
     std::vector<int> survivors;
     for (int r : mini) {
-        if (--tokens_left_[r] == 0) {
+        bool done = --tokens_left_[r] == 0;
+        if (kv_on_) {
+            kv_retire(r, done);
+        }
+        if (done) {
             latencies_[r] = now_ - requests_[r].arrival;
             ++completed_;
         } else {
@@ -470,14 +656,22 @@ DisaggRun::finalize()
     if (!high.empty()) {
         rep_.p95_high_latency = util::percentile(high, 95.0);
     }
+    if (kv_on_) {
+        rep_.kv_bytes_peak = state_.kv_bytes_peak();
+        rep_.mean_kv_bytes = kv_mean_.value();
+        rep_.kv_evictions = state_.kv_evictions();
+    }
 }
 
 ServingReport
 DisaggRun::run()
 {
     const int n = total_requests();
+    kv_on_ = opts_.kv_budget > 0;
     tokens_left_.resize(n);
     latencies_.assign(n, 0.0);
+    kv_tokens_.assign(n, -1);
+    kv_pinned_.assign(n, false);
     for (int i = 0; i < n; ++i) {
         const Request& req = requests_[i];
         util::check(req.arrival >= 0 &&
@@ -486,10 +680,11 @@ DisaggRun::run()
                     "Server: requests must be sorted and non-negative");
         util::check(req.decode_tokens >= 1,
                     "Server: decode_tokens must be >= 1");
-        if (req.phase == Phase::kPrefill) {
+        if (req.phase == Phase::kPrefill || kv_on_) {
             util::check(opts_.max_prompt_len >= 1,
-                        "Server: prefill-phase requests need "
-                        "max_prompt_len (the model sequence length)");
+                        "Server: prefill-phase requests (and KV "
+                        "modeling) need max_prompt_len (the model "
+                        "sequence length)");
             util::check(req.prompt_len >= 0 &&
                             req.prompt_len <= opts_.max_prompt_len,
                         "Server: prompt_len must be in "
@@ -498,6 +693,7 @@ DisaggRun::run()
         tokens_left_[i] = req.decode_tokens;
     }
     rep_.requests = n;
+    rep_.kv_modeled = kv_on_;
 
     while (completed_ < n) {
         admit();
@@ -506,14 +702,35 @@ DisaggRun::run()
             double t_next = requests_[next_arrival_].arrival;
             if (t_next > now_) {
                 depth_mean_.add(t_next - now_, 0.0);
+                if (kv_on_) {
+                    kv_mean_.add(t_next - now_,
+                                 static_cast<double>(state_.kv_bytes()));
+                }
                 state_.run_to(t_next);
                 now_ = t_next;
             }
             continue;
         }
         if (!pre_hi_.empty() || !pre_lo_.empty()) {
-            run_prefill_iteration(/*high_only=*/false,
-                                  /*interruptible=*/true);
+            if (kv_on_ && !prefill_admissible()) {
+                // KV backpressure: the next prompt's segment does not
+                // fit next to the resident ones. Run decode work
+                // instead when there is any (completions free KV);
+                // with nothing else to run, force the prompt through
+                // (spilling) so the server always makes progress.
+                if (!running_.empty() || !dec_hi_.empty() ||
+                    !dec_lo_.empty()) {
+                    ++rep_.deferred_admissions;
+                    run_decode_iteration(/*interruptible=*/true);
+                } else {
+                    run_prefill_iteration(/*high_only=*/false,
+                                          /*interruptible=*/true,
+                                          /*force_admit=*/true);
+                }
+            } else {
+                run_prefill_iteration(/*high_only=*/false,
+                                      /*interruptible=*/true);
+            }
         } else {
             run_decode_iteration(/*interruptible=*/true);
         }
@@ -674,6 +891,13 @@ ServingReport::summary() const
             << " requests, p95 " << ms(p95_high_latency) << " ms, "
             << preemptions << " preemptions";
     }
+    if (kv_modeled) {
+        out << "\n  kv residency : peak " << kv_bytes_peak / 1024
+            << " KB/core, mean " << mean_kv_bytes / 1024.0 << " KB; "
+            << kv_evictions << " evictions, " << kv_refetches
+            << " refetches (" << ms(kv_stall) << " ms stalled), "
+            << deferred_admissions << " deferred admissions";
+    }
     return out.str();
 }
 
@@ -720,6 +944,13 @@ ServingReport::serialize_bits() const
         append_bits(out, b.prompt_len);
         append_bits(out, b.iterations);
     }
+    append_bits(out, static_cast<uint8_t>(kv_modeled ? 1 : 0));
+    append_bits(out, kv_bytes_peak);
+    append_bits(out, mean_kv_bytes);
+    append_bits(out, kv_evictions);
+    append_bits(out, kv_refetches);
+    append_bits(out, kv_stall);
+    append_bits(out, deferred_admissions);
     return out;
 }
 
@@ -743,6 +974,14 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
         util::check(opts_.prompt_buckets.empty(),
                     "Server: prompt buckets need max_prompt_len");
     }
+    if (opts_.kv_budget > 0) {
+        util::check(opts_.kv_bytes_per_token > 0,
+                    "Server: KV modeling needs kv_bytes_per_token "
+                    "(see graph::kv_bytes_per_token)");
+        util::check(opts_.max_prompt_len >= 1,
+                    "Server: KV modeling needs max_prompt_len to "
+                    "size per-request KV segments");
+    }
 }
 
 // NOTE: this loop intentionally does NOT delegate to DisaggRun. It is
@@ -755,6 +994,11 @@ ServingReport
 Server::serve(const std::vector<double>& arrivals,
               const ProgramSource& programs) const
 {
+    // This loop is the KV-free reference; silently skipping KV
+    // modeling here would let a caller believe it was applied.
+    util::check(opts_.kv_budget == 0,
+                "Server: KV modeling (kv_budget > 0) requires the "
+                "Request-based serve() overload");
     const int n = static_cast<int>(arrivals.size());
     for (int i = 0; i < n; ++i) {
         util::check(arrivals[i] >= 0 &&

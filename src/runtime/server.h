@@ -28,6 +28,16 @@
  * stopped (EngineState::park/resume). When no preemption fires,
  * step-driven results are bit-identical to unpreempted runs.
  *
+ * With a non-zero ServerOptions::kv_budget, decode KV state is
+ * modeled as first-class residency-pool entries: every request owns a
+ * KV segment sized by its prompt length plus the tokens it has
+ * decoded, competing with resident weights for SRAM. Prompts whose KV
+ * would not fit are deferred at admission (backpressure), spilled
+ * segments stall their next iteration while they stream back from
+ * HBM, and parked (preempted) requests keep their segments pinned.
+ * The default (0) keeps KV memory free — bit-identical to the pre-KV
+ * scheduler.
+ *
  * The ServingReport aggregates the paper-style serving metrics: tail
  * latency percentiles, time-to-first-token, tokens/s goodput, queue
  * depth, preemption counts, and time-weighted HBM/NoC utilization.
@@ -167,13 +177,28 @@ struct ServerOptions {
     /// at the next step() boundary (off = they still jump the queues,
     /// but never interrupt an iteration in flight).
     bool preempt = true;
+    /// Per-core byte cap on decode KV state held resident in SRAM.
+    /// 0 (default) disables KV modeling entirely — KV memory is free,
+    /// the pre-KV behavior, bit-identical to it. When > 0 every
+    /// request owns a KV segment in the engine's residency pool:
+    /// allocated at prefill admission (sized by its prompt length),
+    /// grown one token per decode iteration, pinned while its
+    /// iteration runs or is parked by preemption, freed at
+    /// completion. Segments past the budget spill to HBM and stall
+    /// the next iteration while they stream back; prompts whose KV
+    /// would not fit are deferred at admission (backpressure).
+    uint64_t kv_budget = 0;
+    /// KV-cache bytes one token appends across the whole machine
+    /// (graph::kv_bytes_per_token(model); the server divides by the
+    /// core count). Required > 0 when kv_budget > 0.
+    uint64_t kv_bytes_per_token = 0;
 };
 
 /// Aggregate serving metrics for one trace (paper-style tail report).
 struct ServingReport {
-    int requests = 0;
-    int iterations = 0;
-    int64_t tokens = 0;
+    int requests = 0;       ///< requests the trace contained.
+    int iterations = 0;     ///< engine iterations run (all classes).
+    int64_t tokens = 0;     ///< decode tokens produced (goodput base).
     double makespan = 0.0;  ///< clock when the last request completed.
 
     // --- request latency (arrival -> last token), seconds ---
@@ -235,11 +260,34 @@ struct ServingReport {
     /// Iterations run per compiled (batch, prompt_len) prefill
     /// bucket, sorted by (prompt_len, batch).
     struct PrefillBucket {
-        int batch = 0;
-        int prompt_len = 0;
-        int iterations = 0;
+        int batch = 0;       ///< batch bucket the program was built at.
+        int prompt_len = 0;  ///< prompt-length bucket.
+        int iterations = 0;  ///< iterations served from this bucket.
     };
     std::vector<PrefillBucket> prefill_bucket_iterations;
+
+    // --- KV residency (ServerOptions::kv_budget > 0; all zero when
+    // --- KV modeling is off) ---
+    /// KV modeling was enabled for this serve (gates the summary
+    /// block; the counters below are all zero when false).
+    bool kv_modeled = false;
+    /// High-water mark of resident KV bytes per core.
+    uint64_t kv_bytes_peak = 0;
+    /// Time-weighted mean of resident KV bytes per core.
+    double mean_kv_bytes = 0.0;
+    /// KV segments spilled to HBM — at the KV budget boundary or
+    /// under SRAM pressure against resident weights.
+    int64_t kv_evictions = 0;
+    /// KV streams charged before an iteration could run: spilled
+    /// segments fetched back, plus decode-phase arrivals whose KV
+    /// state migrates in from HBM.
+    int64_t kv_refetches = 0;
+    /// Seconds serving stalled on those KV streams.
+    double kv_stall = 0.0;
+    /// Prompt claims postponed because their KV segment would not fit
+    /// the budget next to the segments already resident
+    /// (admission backpressure).
+    int deferred_admissions = 0;
 
     /// Multi-line human summary.
     std::string summary() const;
@@ -271,13 +319,18 @@ class Server {
         std::function<std::shared_ptr<const sim::SimProgram>(
             int batch, int prompt_len)>;
 
+    /// Validates and finalizes @p opts (bucket ladders, KV knobs);
+    /// bad combinations are fatal here, not mid-serve. @p machine
+    /// must outlive the server.
     Server(const sim::Machine& machine, ServerOptions opts);
 
     /// Serves @p arrivals (sorted seconds) to completion as
     /// decode-only, normal-priority requests of
     /// options().tokens_per_request tokens each — the PR 2 fast path,
     /// bit-identical to the disaggregated scheduler on the same
-    /// degenerate trace.
+    /// degenerate trace. KV modeling is not supported on this
+    /// reference loop: kv_budget > 0 is fatal here (use the
+    /// Request-based overload).
     ServingReport serve(const std::vector<double>& arrivals,
                         const ProgramSource& programs) const;
 
@@ -297,6 +350,7 @@ class Server {
                         const PrefillProgramSource& prefill_programs,
                         const ProgramSource& decode_programs) const;
 
+    /// The finalized options (default bucket ladders filled in).
     const ServerOptions& options() const { return opts_; }
 
   private:

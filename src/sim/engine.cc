@@ -214,6 +214,202 @@ EngineState::entry_score(const ResidentEntry& entry)
            static_cast<double>(entry.space);
 }
 
+double
+EngineState::kv_score(const KvSegment& seg) const
+{
+    // The segment substitutes streaming its machine-total bytes back
+    // from HBM; per resident byte that is the core count. Same units
+    // as entry_score, so weights and KV compare directly.
+    return static_cast<double>(machine_.config().total_cores()) *
+           (1.0 + static_cast<double>(seg.hits));
+}
+
+std::map<int64_t, EngineState::KvSegment>::iterator
+EngineState::kv_pick_victim(int64_t excluded_id)
+{
+    auto victim = kv_.end();
+    for (auto it = kv_.begin(); it != kv_.end(); ++it) {
+        if (!it->second.resident || it->second.pin_count > 0 ||
+            it->first == excluded_id) {
+            continue;
+        }
+        if (victim == kv_.end()) {
+            victim = it;
+            continue;
+        }
+        bool better;
+        if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
+            double s = kv_score(it->second);
+            double v = kv_score(victim->second);
+            better = s < v ||
+                     (s == v && it->second.seq < victim->second.seq);
+        } else {
+            better = it->second.seq < victim->second.seq;
+        }
+        if (better) {
+            victim = it;
+        }
+    }
+    return victim;
+}
+
+void
+EngineState::kv_spill(std::map<int64_t, KvSegment>::iterator victim)
+{
+    victim->second.resident = false;
+    kv_resident_bytes_ -= victim->second.bytes;
+    occupancy_ -= static_cast<double>(victim->second.bytes);
+    ++kv_evictions_;
+}
+
+bool
+EngineState::kv_make_room(uint64_t need, int64_t excluded_id)
+{
+    if (opts_.kv_budget == 0) {
+        return true;
+    }
+    if (need > opts_.kv_budget) {
+        return false;
+    }
+    while (kv_resident_bytes_ + need > opts_.kv_budget) {
+        auto victim = kv_pick_victim(excluded_id);
+        if (victim == kv_.end()) {
+            return false;  // only pinned (or excluded) segments left
+        }
+        kv_spill(victim);
+    }
+    return true;
+}
+
+bool
+EngineState::kv_alloc(int64_t id, uint64_t per_core_bytes)
+{
+    util::check(kv_.find(id) == kv_.end(),
+                "EngineState: kv_alloc() of an existing segment");
+    KvSegment seg;
+    seg.bytes = per_core_bytes;
+    seg.seq = resident_seq_++;
+    auto it = kv_.emplace(id, seg).first;
+    if (kv_make_room(per_core_bytes, id)) {
+        it->second.resident = true;
+        kv_resident_bytes_ += per_core_bytes;
+        occupancy_ += static_cast<double>(per_core_bytes);
+        kv_bytes_peak_ = std::max(kv_bytes_peak_, kv_resident_bytes_);
+    }
+    // Pressure relief may spill the newcomer right back out (it is
+    // unpinned and freshest); report what actually stuck.
+    relieve_pressure();
+    return it->second.resident;
+}
+
+bool
+EngineState::kv_fetch(int64_t id)
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end(),
+                "EngineState: kv_fetch() of an unowned segment");
+    KvSegment& seg = it->second;
+    if (seg.resident) {
+        return true;
+    }
+    seg.seq = resident_seq_++;
+    if (!kv_make_room(seg.bytes, id)) {
+        return false;
+    }
+    seg.resident = true;
+    kv_resident_bytes_ += seg.bytes;
+    occupancy_ += static_cast<double>(seg.bytes);
+    kv_bytes_peak_ = std::max(kv_bytes_peak_, kv_resident_bytes_);
+    relieve_pressure();
+    return seg.resident;
+}
+
+void
+EngineState::kv_grow(int64_t id, uint64_t per_core_bytes)
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end(),
+                "EngineState: kv_grow() of an unowned segment");
+    KvSegment& seg = it->second;
+    seg.bytes += per_core_bytes;
+    if (!seg.resident) {
+        return;  // grows in HBM for free
+    }
+    kv_resident_bytes_ += per_core_bytes;
+    occupancy_ += static_cast<double>(per_core_bytes);
+    if (opts_.kv_budget != 0 && kv_resident_bytes_ > opts_.kv_budget &&
+        !kv_make_room(0, id)) {
+        // Nothing else can move: spill the growing segment itself —
+        // unless a pin (a parked consumer) forbids it, in which case
+        // the overshoot stands until the pin drops.
+        if (seg.pin_count == 0) {
+            kv_spill(it);
+        }
+    }
+    if (seg.resident) {
+        kv_bytes_peak_ = std::max(kv_bytes_peak_, kv_resident_bytes_);
+    }
+    relieve_pressure();
+}
+
+void
+EngineState::kv_pin(int64_t id)
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end() && it->second.resident,
+                "EngineState: kv_pin() needs a resident segment");
+    ++it->second.pin_count;
+    ++it->second.hits;
+    it->second.seq = resident_seq_++;
+}
+
+void
+EngineState::kv_unpin(int64_t id)
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end() && it->second.pin_count > 0,
+                "EngineState: kv_unpin() without a pin");
+    --it->second.pin_count;
+}
+
+void
+EngineState::kv_free(int64_t id)
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end(),
+                "EngineState: kv_free() of an unowned segment");
+    util::check(it->second.pin_count == 0,
+                "EngineState: kv_free() of a pinned segment");
+    if (it->second.resident) {
+        kv_resident_bytes_ -= it->second.bytes;
+        occupancy_ -= static_cast<double>(it->second.bytes);
+    }
+    kv_.erase(it);
+}
+
+bool
+EngineState::kv_resident(int64_t id) const
+{
+    auto it = kv_.find(id);
+    return it != kv_.end() && it->second.resident;
+}
+
+uint64_t
+EngineState::kv_segment_bytes(int64_t id) const
+{
+    auto it = kv_.find(id);
+    util::check(it != kv_.end(),
+                "EngineState: kv_segment_bytes() of an unowned segment");
+    return it->second.bytes;
+}
+
+bool
+EngineState::kv_would_fit(uint64_t per_core_bytes) const
+{
+    return opts_.kv_budget == 0 ||
+           kv_resident_bytes_ + per_core_bytes <= opts_.kv_budget;
+}
+
 std::map<int, EngineState::ResidentEntry>::iterator
 EngineState::pick_victim()
 {
@@ -254,17 +450,39 @@ EngineState::evict(std::map<int, ResidentEntry>::iterator victim)
 void
 EngineState::relieve_pressure()
 {
-    if (resident_.empty()) {
+    if (resident_.empty() && kv_.empty()) {
         return;
     }
     const double limit =
         static_cast<double>(machine_.config().usable_sram_per_core());
     while (occupancy_ > limit) {
-        auto victim = pick_victim();
-        if (victim == resident_.end()) {
+        // Weights and KV segments compete: the policy's best victim
+        // across both classes goes first (lower seq under retire
+        // order, lower worth under frequency-aware, ties by seq —
+        // the seq counter is shared, so ties cannot cross classes).
+        auto w = pick_victim();
+        auto k = kv_pick_victim();
+        bool have_w = w != resident_.end();
+        bool have_k = k != kv_.end();
+        if (!have_w && !have_k) {
             break;  // everything left is pinned by running programs
         }
-        evict(victim);
+        bool take_kv;
+        if (!have_w || !have_k) {
+            take_kv = have_k;
+        } else if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
+            double ws = entry_score(w->second);
+            double ks = kv_score(k->second);
+            take_kv = ks < ws ||
+                      (ks == ws && k->second.seq < w->second.seq);
+        } else {
+            take_kv = k->second.seq < w->second.seq;
+        }
+        if (take_kv) {
+            kv_spill(k);
+        } else {
+            evict(w);
+        }
     }
 }
 

@@ -86,7 +86,8 @@ struct SimProgram {
     void validate() const;
 };
 
-/// How EngineState decides which resident weights survive.
+/// How EngineState decides which resident entries — operator weights
+/// and decode KV segments alike — survive.
 enum class ResidencyPolicy {
     /// Admit in retire order while the budget lasts; evict the oldest
     /// entry first under SRAM pressure (the PR 2 behavior).
@@ -94,10 +95,12 @@ enum class ResidencyPolicy {
     /// Value-aware: an entry's worth is
     /// dram_bytes x (1 + reuse_count) / preload_space — the HBM
     /// traffic it saves per byte of SRAM it holds, scaled by how often
-    /// it has actually been reused. Eviction (pressure or budget
-    /// displacement) always takes the lowest-worth unpinned entry;
-    /// admission may displace strictly lower-worth entries when the
-    /// budget is full.
+    /// it has actually been reused. A KV segment is scored by the same
+    /// formula with its machine-total bytes as the saved HBM traffic,
+    /// which reduces to core_count x (1 + reuse). Eviction (pressure
+    /// or budget displacement) always takes the lowest-worth unpinned
+    /// entry; admission may displace strictly lower-worth entries
+    /// when the budget is full.
     kFrequencyAware,
 };
 
@@ -131,6 +134,15 @@ std::string residency_policy_name(ResidencyPolicy policy);
  * alone (entries consumed by a parked program stay pinned). While
  * parked, a program's flows are quiesced: the model is that the
  * hardware halts the victim's DMA queues at the boundary.
+ *
+ * KV segments: the pool's second entry class. A segment models one
+ * serving request's decode KV state — per-core bytes that grow with
+ * every decoded token, occupy SRAM next to resident weights, and
+ * compete with them under pressure eviction. Segments are never
+ * implicitly created by programs; the serving runtime drives the
+ * kv_alloc/kv_grow/kv_pin/kv_free lifecycle between iterations (see
+ * docs/ENGINE.md for the full contract). With no segments the
+ * engine's arithmetic is bit-identical to the KV-free engine.
  */
 class EngineState {
     struct Frame;  // one loaded program's interpreter state, below.
@@ -140,8 +152,16 @@ class EngineState {
         /// Per-core byte cap on weights kept resident across programs;
         /// 0 disables retention entirely.
         uint64_t residency_budget = 0;
-        /// Retention/eviction policy for resident weights.
+        /// Retention/eviction policy for resident weights and KV
+        /// segments.
         ResidencyPolicy policy = ResidencyPolicy::kRetireOrder;
+        /// Per-core byte cap on resident KV segments; 0 = uncapped
+        /// (segments still occupy SRAM, they just never spill at a
+        /// budget boundary — only under pressure). The serving runtime
+        /// only creates segments when its own kv_budget is non-zero,
+        /// which is what keeps the default bit-identical to the
+        /// KV-free engine.
+        uint64_t kv_budget = 0;
     };
 
     explicit EngineState(const Machine& machine);
@@ -248,6 +268,81 @@ class EngineState {
     /// frequency-aware policy.
     int64_t resident_evictions() const { return resident_evictions_; }
 
+    // --- KV segments -----------------------------------------------
+    //
+    // A KV segment is a request's decode KV state, modeled as a
+    // first-class entry of the residency pool: per-core bytes that
+    // occupy SRAM next to resident weights, compete with them under
+    // pressure eviction, and can be pinned (in use by a running or
+    // parked iteration) or spilled to HBM (evicted). Segments are
+    // created/grown/freed by the serving runtime between programs;
+    // the engine owns the byte accounting and the eviction decisions.
+    // A spilled segment stays owned (its bytes live in HBM) until
+    // kv_free(); re-admitting it is kv_fetch(), whose HBM transfer
+    // time the caller charges (see runtime::Server).
+
+    /**
+     * Creates the segment @p id at @p per_core_bytes and tries to
+     * make it resident, spilling unpinned KV segments in policy order
+     * while the KV budget requires it. Returns whether the segment is
+     * resident (false = born spilled: the budget is exhausted by
+     * pinned segments, or the segment alone exceeds it). @p id must
+     * not already exist.
+     */
+    bool kv_alloc(int64_t id, uint64_t per_core_bytes);
+
+    /// Re-admits a spilled segment (same spill rules as kv_alloc);
+    /// true when @p id ends up resident. A resident @p id is a no-op
+    /// returning true. The caller models the HBM transfer this stands
+    /// for by advancing the clock (run_to) before the next program.
+    bool kv_fetch(int64_t id);
+
+    /// Grows @p id by @p per_core_bytes (one decoded token's KV). A
+    /// resident segment's growth can spill other unpinned segments at
+    /// the budget boundary — or, when only the growing segment itself
+    /// is evictable, spill the segment whole (the thrash case a tight
+    /// budget produces). A spilled segment grows in HBM for free.
+    void kv_grow(int64_t id, uint64_t per_core_bytes);
+
+    /// Marks one consuming iteration: pins @p id against every form
+    /// of eviction until kv_unpin(), and refreshes its recency and
+    /// reuse count. Requires the segment to be resident. Pins nest
+    /// (a parked victim and its interrupter both hold one).
+    void kv_pin(int64_t id);
+
+    /// Releases one kv_pin().
+    void kv_unpin(int64_t id);
+
+    /// Destroys @p id (request completed), releasing its bytes.
+    /// Requires the segment to exist and be unpinned; freeing an
+    /// unowned or pinned segment panics.
+    void kv_free(int64_t id);
+
+    /// True when @p id exists and currently occupies SRAM.
+    bool kv_resident(int64_t id) const;
+
+    /// Current per-core bytes of segment @p id (resident or spilled).
+    uint64_t kv_segment_bytes(int64_t id) const;
+
+    /// Admission-feasibility check for the serving runtime's
+    /// backpressure: would a new segment of @p per_core_bytes fit the
+    /// KV budget next to the segments that are resident right now,
+    /// without spilling any of them? (Always true when uncapped.)
+    bool kv_would_fit(uint64_t per_core_bytes) const;
+
+    /// Per-core bytes of resident KV across all segments.
+    uint64_t kv_bytes() const { return kv_resident_bytes_; }
+
+    /// High-water mark of kv_bytes() since construction.
+    uint64_t kv_bytes_peak() const { return kv_bytes_peak_; }
+
+    /// Number of owned segments (resident + spilled).
+    int kv_segments() const { return static_cast<int>(kv_.size()); }
+
+    /// KV segments spilled to HBM since construction — at the KV
+    /// budget boundary or under SRAM pressure.
+    int64_t kv_evictions() const { return kv_evictions_; }
+
   private:
     /// Execution-side phase of the per-program state machine.
     enum class ExecPhase { kWaitPreload, kDistribute, kExecute, kDone };
@@ -262,6 +357,17 @@ class EngineState {
         /// In-flight consumers among loaded/parked programs (preload
         /// skipped, execute pending) — not evictable while > 0.
         int pin_count = 0;
+    };
+
+    /// One request's decode KV state in the residency pool.
+    struct KvSegment {
+        uint64_t bytes = 0;  ///< per-core bytes (prompt + decoded).
+        uint64_t seq = 0;    ///< recency (shared counter with weights).
+        int64_t hits = 0;    ///< consuming iterations (worth under
+                             ///< kFrequencyAware).
+        int pin_count = 0;   ///< running/parked consumers; > 0 blocks
+                             ///< every form of eviction.
+        bool resident = false;  ///< in SRAM (vs spilled to HBM).
     };
 
     /**
@@ -320,13 +426,29 @@ class EngineState {
     /// Resident worth under kFrequencyAware (saved HBM bytes per
     /// resident byte, scaled by reuse).
     static double entry_score(const ResidentEntry& entry);
-    /// The next entry the policy would evict (unpinned, lowest
+    /// The next weight entry the policy would evict (unpinned, lowest
     /// seq/worth); end() when everything is pinned.
     std::map<int, ResidentEntry>::iterator pick_victim();
     /// Drops @p victim from the resident set and the occupancy.
     void evict(std::map<int, ResidentEntry>::iterator victim);
-    /// Evicts victims while per-core occupancy exceeds the machine's
-    /// usable SRAM.
+    /// KV analogue of entry_score: machine-total bytes saved per
+    /// resident byte, scaled by reuse.
+    double kv_score(const KvSegment& seg) const;
+    /// The resident, unpinned KV segment the policy would spill next
+    /// (kv_.end() when none), optionally excluding @p excluded_id.
+    std::map<int64_t, KvSegment>::iterator kv_pick_victim(
+        int64_t excluded_id = -1);
+    /// Spills @p victim to HBM: bytes leave SRAM, the segment stays
+    /// owned (resident = false).
+    void kv_spill(std::map<int64_t, KvSegment>::iterator victim);
+    /// Spills unpinned KV in policy order until @p need extra bytes
+    /// fit the KV budget; false when pinned segments are in the way
+    /// (or @p need alone exceeds the budget). @p excluded_id is never
+    /// spilled. No-op true when uncapped.
+    bool kv_make_room(uint64_t need, int64_t excluded_id = -1);
+    /// Evicts victims — weights and KV segments compete under the
+    /// policy — while per-core occupancy exceeds the machine's usable
+    /// SRAM.
     void relieve_pressure();
     /// Retention decision at execute completion of op @p i.
     void retire_op(int i);
@@ -345,7 +467,12 @@ class EngineState {
     uint64_t resident_seq_ = 0;
     int64_t resident_hits_ = 0;
     int64_t resident_evictions_ = 0;
-    double occupancy_ = 0.0;  ///< per-core bytes (incl. residents).
+    std::map<int64_t, KvSegment> kv_;  ///< by request id.
+    uint64_t kv_resident_bytes_ = 0;
+    uint64_t kv_bytes_peak_ = 0;
+    int64_t kv_evictions_ = 0;
+    double occupancy_ = 0.0;  ///< per-core bytes (incl. residents
+                              ///< and resident KV segments).
 
     // --- the loaded program (reset by begin, swapped by park/resume)
     Frame f_;

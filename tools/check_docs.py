@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (stdlib only; CI `docs` job).
 
-Two classes of rot this catches:
+Four classes of rot this catches:
 
  1. Relative markdown links whose target file no longer exists
     (`[text](docs/SERVING.md)`, `[x](../README.md#anchor)`), in every
@@ -13,6 +13,15 @@ Two classes of rot this catches:
     directories, so source existence is target existence; the CI job
     additionally builds the listed names (`--list-binaries`) to prove
     they compile.
+ 3. Command-line flags the user docs name (`--kv-budget`, `--jobs`,
+    ...) that no driver actually parses: every `--flag` token in
+    README.md, ROADMAP.md, and docs/*.md must appear as a string
+    literal in tools/*.cc or bench/*.{cc,h}, except for a small
+    allowlist of external tools' flags (ctest, cmake,
+    google-benchmark). This is what stops the docs from drifting when
+    a driver renames a flag.
+ 4. TODO/FIXME markers inside docs/*.md — user docs must not ship
+    construction debris.
 
 Usage:
     tools/check_docs.py              # check, exit 1 on any failure
@@ -31,6 +40,26 @@ LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 # Binary-ish tokens: bench_* always; other names are checked against
 # the known binary stems (so prose words never false-positive).
 TOKEN_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+# A documented command-line flag: --word(-word)*, not part of a
+# longer run of dashes (markdown rules / table borders).
+DOC_FLAG_RE = re.compile(r"(?<![-\w])--[a-z][a-z0-9_-]*")
+# A flag string literal in driver source (same charset as
+# DOC_FLAG_RE, or an underscore-flag could never resolve).
+SRC_FLAG_RE = re.compile(r'"(--[a-z][a-z0-9_-]*)"')
+# Flags of tools the docs legitimately invoke but this repo does not
+# parse itself.
+EXTERNAL_FLAGS = {
+    "--output-on-failure",  # ctest
+    "--build",              # cmake
+    "--target",             # cmake
+    "--benchmark_filter",   # google-benchmark (bench_micro)
+    "--list-binaries",      # this script
+}
+# Root-level docs whose --flag mentions are checked next to docs/*.md
+# (user docs; PAPERS/SNIPPETS are reference dumps of external material
+# and ISSUE/CHANGES are process logs).
+FLAG_CHECKED_DOCS = ("README.md", "ROADMAP.md")
+MARKER_RE = re.compile(r"\b(TODO|FIXME)\b")
 
 
 def markdown_files():
@@ -58,6 +87,53 @@ def known_binaries():
             if name.endswith(".cc"):
                 stems[name[: -len(".cc")]] = os.path.join(sub, name)
     return stems
+
+
+def known_flags():
+    """Every --flag string literal a driver parses."""
+    flags = set()
+    sources = []
+    for sub, exts in (("tools", (".cc",)), ("bench", (".cc", ".h"))):
+        directory = os.path.join(REPO, sub)
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(exts):
+                sources.append(os.path.join(directory, name))
+    for src in sources:
+        with open(src, encoding="utf-8") as f:
+            flags |= set(SRC_FLAG_RE.findall(f.read()))
+    return flags
+
+
+def flag_checked(md_path):
+    """User docs whose --flag mentions must resolve to parsed flags."""
+    rel = os.path.relpath(md_path, REPO)
+    return rel in FLAG_CHECKED_DOCS or rel.startswith("docs" + os.sep)
+
+
+def check_flags(md_path, flags, errors):
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    rel = os.path.relpath(md_path, REPO)
+    for flag in sorted(set(DOC_FLAG_RE.findall(text))):
+        if flag in flags or flag in EXTERNAL_FLAGS:
+            continue
+        errors.append(
+            f"{rel}: names flag '{flag}' but no driver "
+            "(tools/*.cc, bench/*.{cc,h}) parses it"
+        )
+
+
+def check_markers(md_path, errors):
+    rel = os.path.relpath(md_path, REPO)
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            match = MARKER_RE.search(line)
+            if match:
+                errors.append(
+                    f"{rel}:{lineno}: contains a {match.group(0)} marker"
+                )
 
 
 def check_links(md_path, errors):
@@ -99,6 +175,7 @@ def doc_binaries(md_path, binaries, errors):
 def main():
     list_only = "--list-binaries" in sys.argv[1:]
     binaries = known_binaries()
+    flags = known_flags()
     errors = []
     named = set()
     for md in markdown_files():
@@ -108,6 +185,11 @@ def main():
         if os.path.basename(md) in ("ISSUE.md", "CHANGES.md"):
             continue
         named |= doc_binaries(md, binaries, errors)
+        if flag_checked(md):
+            check_flags(md, flags, errors)
+        rel = os.path.relpath(md, REPO)
+        if rel.startswith("docs" + os.sep):
+            check_markers(md, errors)
 
     if list_only:
         print(" ".join(sorted(named)))

@@ -91,6 +91,15 @@ usage(const char* argv0)
         "                    of that mean, clamped to --seq)\n"
         "  --policy P        residency policy: retire-order (default)\n"
         "                    or frequency\n"
+        "  --kv-budget KB    per-core KV residency budget in KB; each\n"
+        "                    request's decode KV state then occupies\n"
+        "                    SRAM next to resident weights (0 =\n"
+        "                    default: KV modeling off)\n"
+        "  --kv-bytes-per-token B\n"
+        "                    KV bytes one token appends machine-wide\n"
+        "                    (default 0 = derive from the model\n"
+        "                    geometry: 2 x layers x kv_heads x\n"
+        "                    head_dim x dtype)\n"
         "  --no-preempt      high-priority arrivals never interrupt a\n"
         "                    running iteration\n"
         "  --no-residency    re-preload weights every iteration\n"
@@ -149,6 +158,8 @@ serve_main(int argc, char** argv, const char* argv0)
     std::string prompt_buckets_arg;
     std::string prompt_dist = "full";
     std::string policy = "retire-order";
+    int kv_budget_kb = 0;
+    int kv_bytes_per_token = 0;
     bool preempt = true;
     bool residency = true;
     bool cache_keys = false;
@@ -203,6 +214,12 @@ serve_main(int argc, char** argv, const char* argv0)
             prompt_dist = v;
         } else if (const char* v = arg("--policy")) {
             policy = v;
+        } else if (const char* v = arg("--kv-budget")) {
+            kv_budget_kb =
+                util::parse_int_arg(v, "--kv-budget", 0, 1 << 30);
+        } else if (const char* v = arg("--kv-bytes-per-token")) {
+            kv_bytes_per_token = util::parse_int_arg(
+                v, "--kv-bytes-per-token", 0, 1 << 30);
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
             preempt = false;
         } else if (std::strcmp(argv[i], "--no-residency") == 0) {
@@ -266,6 +283,12 @@ serve_main(int argc, char** argv, const char* argv0)
     sopts.keep_resident = residency;
     sopts.residency_policy = residency_policy;
     sopts.preempt = preempt;
+    sopts.kv_budget = static_cast<uint64_t>(kv_budget_kb) * 1024;
+    sopts.kv_bytes_per_token =
+        kv_bytes_per_token > 0
+            ? static_cast<uint64_t>(kv_bytes_per_token)
+            : graph::kv_bytes_per_token(
+                  graph::model_by_name(model_name));
     runtime::Server server(sc.machine(), sopts);
     std::vector<double> arrivals =
         rate > 0 ? runtime::ArrivalTrace::poisson(
@@ -295,6 +318,13 @@ serve_main(int argc, char** argv, const char* argv0)
                 prefill_frac, high_frac, prompt_dist.c_str(),
                 sim::residency_policy_name(residency_policy).c_str(),
                 preempt ? "on" : "off");
+    if (sopts.kv_budget > 0) {
+        std::printf("kv         : budget %d KB/core, %llu bytes/token "
+                    "machine-wide\n",
+                    kv_budget_kb,
+                    static_cast<unsigned long long>(
+                        sopts.kv_bytes_per_token));
+    }
     runtime::ServingReport rep = server.serve(
         trace, [&](int b, int len) { return pc.program(b, len); },
         [&](int b) { return sc.program(b); });
