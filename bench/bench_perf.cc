@@ -1,0 +1,490 @@
+/**
+ * @file
+ * bench_perf — the simulator raw-speed harness (not a paper figure).
+ *
+ * Where bench_serving reports what the *simulated* system does, this
+ * harness reports how fast the *simulator itself* runs those
+ * workloads, so the trajectory can be tracked across PRs
+ * (`BENCH_perf.json`, diffed by tools/perf_report.py). Three serve
+ * phases time the real serving workloads end to end:
+ *
+ *   serve_modes  — closed-loop decode serving of the quickstart model
+ *                  across all five design modes (the PR 2 loop);
+ *   serve_varlen — the length-skewed geometric prompt trace through
+ *                  the (batch, prompt-length) prefill bucket grid;
+ *   serve_kv     — the same trace under a 1/8-SRAM per-core KV budget
+ *                  (spills, refetch stalls, deferred admissions: the
+ *                  KV-residency bookkeeping on its hottest path);
+ *
+ * and one micro phase isolates the engine sections those serves are
+ * built from:
+ *
+ *   engine_step   — begin/step/finish of a compiled decode program on
+ *                   one resident EngineState (steps/s);
+ *   kv_pool       — kv_alloc/grow/pin/unpin/fetch/free churn against
+ *                   a tight KV budget (pool ops/s);
+ *   fluid_network — add_flow + progressive-filling drain of mixed
+ *                   preload/peer flow groups (flows/s).
+ *
+ * Every cell runs --warmup untimed runs (which also populate the plan
+ * caches, so compile time never pollutes a serving measurement) and
+ * --repeat timed runs; the JSON records every repeat's wall seconds
+ * and the headline rate uses the minimum (the least-perturbed run).
+ * Timings vary run to run, but the simulated results must not: each
+ * cell's report digest is asserted identical across warmup and every
+ * repeat, recorded in the JSON, and `tools/perf_report.py --digests`
+ * extracts them in a stable order so CI can diff --jobs 1 against
+ * --jobs N — and one commit against another — conclusively.
+ *
+ * Flags (strict; an unknown argument is fatal): --jobs N, --warmup N,
+ * --repeat N, --json PATH. ELK_BENCH_FAST=1 trims the grid for CI.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "elk/plan_cache.h"
+#include "elk/serving_compiler.h"
+#include "graph/model_builder.h"
+#include "runtime/server.h"
+#include "util/bits.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace elk;
+using Clock = std::chrono::steady_clock;
+
+/// FNV-1a hex digest of a report's exact bit serialization.
+std::string
+digest_report(const runtime::ServingReport& rep)
+{
+    std::string bits = rep.serialize_bits();
+    util::Fnv1a h;
+    h.mix(bits.data(), bits.size());
+    return h.hex();
+}
+
+/// One measured cell of the harness grid.
+struct PerfCell {
+    std::string phase;          ///< phase name ("serve_kv", ...).
+    std::string name;           ///< design mode or micro section.
+    double work = 0.0;          ///< work units one run performs.
+    const char* unit = "req/s"; ///< rate unit (work units per second).
+    int iterations = 0;         ///< engine iterations per run (serves).
+    int64_t tokens = 0;         ///< decode tokens per run (serves).
+    std::string digest;         ///< simulated-result digest (FNV-1a).
+    std::vector<double> wall_s; ///< one entry per timed repeat.
+
+    double
+    min_wall() const
+    {
+        double best = wall_s.empty() ? 0.0 : wall_s[0];
+        for (double w : wall_s) {
+            best = std::min(best, w);
+        }
+        return best;
+    }
+
+    double
+    rate() const
+    {
+        double w = min_wall();
+        return w > 0.0 ? work / w : 0.0;
+    }
+};
+
+/**
+ * Times @p run (which returns a result digest) with @p warmup untimed
+ * and @p repeat timed executions, filling @p cell. Dies if any
+ * execution's digest differs from the first — a perf harness that
+ * changed the simulated answer is measuring the wrong thing.
+ */
+template <typename Fn>
+void
+time_cell(PerfCell& cell, int warmup, int repeat, Fn&& run)
+{
+    for (int i = 0; i < warmup; ++i) {
+        std::string d = run();
+        if (cell.digest.empty()) {
+            cell.digest = d;
+        }
+        util::check(d == cell.digest,
+                    "bench_perf: digest drift across warmup runs");
+    }
+    cell.wall_s.reserve(repeat);
+    for (int i = 0; i < repeat; ++i) {
+        auto t0 = Clock::now();
+        std::string d = run();
+        auto t1 = Clock::now();
+        if (cell.digest.empty()) {
+            cell.digest = d;
+        }
+        util::check(d == cell.digest,
+                    "bench_perf: digest drift across timed repeats");
+        cell.wall_s.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+}
+
+/// Minimal JSON string escape (labels here are plain ASCII anyway).
+std::string
+json_str(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+json_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+write_json(const std::string& path, const std::vector<PerfCell>& cells,
+           int jobs, int warmup, int repeat, bool fast)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    util::check(f != nullptr,
+                "bench_perf: cannot open --json path for writing");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"elk-bench-perf/1\",\n");
+    std::fprintf(f, "  \"fast\": %s,\n", fast ? "true" : "false");
+    std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+    std::fprintf(f, "  \"warmup\": %d,\n", warmup);
+    std::fprintf(f, "  \"repeat\": %d,\n", repeat);
+    std::fprintf(f, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const PerfCell& c = cells[i];
+        std::fprintf(f, "    {\"phase\": %s, \"name\": %s, ",
+                     json_str(c.phase).c_str(),
+                     json_str(c.name).c_str());
+        std::fprintf(f, "\"work\": %s, \"unit\": %s, ",
+                     json_double(c.work).c_str(),
+                     json_str(c.unit).c_str());
+        std::fprintf(f, "\"iterations\": %d, \"tokens\": %" PRId64
+                        ", \"digest\": %s, ",
+                     c.iterations, c.tokens,
+                     json_str(c.digest).c_str());
+        std::fprintf(f, "\"wall_s\": [");
+        for (size_t r = 0; r < c.wall_s.size(); ++r) {
+            std::fprintf(f, "%s%s", r == 0 ? "" : ", ",
+                         json_double(c.wall_s[r]).c_str());
+        }
+        std::fprintf(f, "], \"wall_min_s\": %s, \"rate\": %s}%s\n",
+                     json_double(c.min_wall()).c_str(),
+                     json_double(c.rate()).c_str(),
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%d cells)\n", path.c_str(),
+                static_cast<int>(cells.size()));
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    int jobs = -1;
+    int warmup = 1;
+    int repeat = 3;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char* flag) {
+            if (i + 1 >= argc) {
+                util::fatal(std::string(flag) + " requires a value");
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = util::ThreadPool::parse_jobs_arg(need("--jobs"),
+                                                    "--jobs");
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            warmup = util::parse_int_arg(need("--warmup"), "--warmup",
+                                         0, 1000);
+        } else if (std::strcmp(argv[i], "--repeat") == 0) {
+            repeat = util::parse_int_arg(need("--repeat"), "--repeat",
+                                         1, 1000);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = need("--json");
+        } else {
+            util::fatal(std::string("unknown argument '") + argv[i] +
+                        "'; usage: " + argv[0] +
+                        " [--jobs N] [--warmup N] [--repeat N]"
+                        " [--json PATH]");
+        }
+    }
+    if (jobs < 0) {
+        jobs = bench::jobs();  // the ELK_BENCH_JOBS fallback
+    }
+
+    const bool fast = bench::fast_mode();
+    const int requests = fast ? 24 : 96;
+    const int tokens = 4;
+    const int batch = fast ? 8 : 16;
+    const int seq = fast ? 512 : 1024;
+    const int prefill_batch = fast ? 2 : 4;
+    const double prompt_mean = seq / 8.0;
+    const std::vector<int> prompt_buckets = {seq / 8, seq / 2, seq};
+
+    graph::ModelConfig model = graph::llama2_13b();
+    hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
+    auto modes = bench::all_designs();
+
+    int pool_threads = util::ThreadPool::resolve_jobs(jobs);
+    std::unique_ptr<util::ThreadPool> pool;
+    if (pool_threads > 1) {
+        pool = std::make_unique<util::ThreadPool>(pool_threads);
+    }
+
+    compiler::PlanCache cache;
+    std::vector<std::unique_ptr<compiler::ServingCompiler>> decodes;
+    std::vector<std::unique_ptr<compiler::ServingCompiler>> prefills;
+    for (auto mode : modes) {
+        compiler::CompileOptions copts;
+        copts.mode = mode;
+        copts.max_orders = fast ? 6 : 12;
+        decodes.push_back(std::make_unique<compiler::ServingCompiler>(
+            model, seq, chip, copts, &cache, jobs));
+        prefills.push_back(std::make_unique<compiler::ServingCompiler>(
+            model, seq, chip, copts, &cache, jobs,
+            compiler::ServingCompiler::Options::prefill()));
+    }
+
+    runtime::ServerOptions base;
+    base.max_batch = batch;
+    base.tokens_per_request = tokens;
+
+    // The length-skewed prefill trace the varlen and KV phases serve
+    // (same construction as bench_serving phases 4/5). The arrival
+    // rate is fixed, not capacity-derived, so the harness times one
+    // stable workload per phase across commits.
+    auto skewed_trace = [&](uint64_t seed) {
+        auto trace = runtime::make_request_trace(
+            runtime::ArrivalTrace::poisson(requests, /*rate_per_s=*/400.0,
+                                           seed),
+            tokens, /*prefill_frac=*/1.0, /*high_frac=*/0.0, seed);
+        runtime::tag_prompt_lengths(trace, seq, prompt_mean, seed);
+        return trace;
+    };
+
+    std::vector<PerfCell> cells;
+
+    // --- serve phases: one cell per (phase, design mode) -----------
+    struct ServeSpec {
+        const char* phase;
+        uint64_t kv_budget;  ///< 0 = varlen (no KV modeling).
+        bool closed_decode;  ///< serve_modes: plain closed-loop loop.
+    };
+    const uint64_t kv_budget = chip.usable_sram_per_core() / 8;
+    const std::vector<ServeSpec> specs = {
+        {"serve_modes", 0, true},
+        {"serve_varlen", 0, false},
+        {"serve_kv", kv_budget, false},
+    };
+    struct ServeCellRef {
+        int spec;
+        int mode;
+    };
+    std::vector<ServeCellRef> refs;
+    for (size_t s = 0; s < specs.size(); ++s) {
+        for (size_t m = 0; m < modes.size(); ++m) {
+            refs.push_back({static_cast<int>(s), static_cast<int>(m)});
+        }
+    }
+    std::vector<PerfCell> serve_cells(refs.size());
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(refs.size()), [&](int i) {
+            const ServeSpec& spec = specs[refs[i].spec];
+            const int m = refs[i].mode;
+            PerfCell& cell = serve_cells[i];
+            cell.phase = spec.phase;
+            cell.name = decodes[m]->mode();
+            cell.work = requests;
+            cell.unit = "req/s";
+            time_cell(cell, warmup, repeat, [&] {
+                runtime::ServingReport rep;
+                if (spec.closed_decode) {
+                    runtime::Server server(decodes[m]->machine(), base);
+                    rep = server.serve(
+                        runtime::ArrivalTrace::closed_loop(requests),
+                        [&](int b) { return decodes[m]->program(b); });
+                } else {
+                    runtime::ServerOptions opts = base;
+                    opts.max_prefill_batch = prefill_batch;
+                    opts.max_prompt_len = seq;
+                    opts.prompt_buckets = prompt_buckets;
+                    opts.kv_budget = spec.kv_budget;
+                    if (spec.kv_budget > 0) {
+                        opts.kv_bytes_per_token =
+                            graph::kv_bytes_per_token(model);
+                    }
+                    runtime::Server server(decodes[m]->machine(), opts);
+                    rep = server.serve(
+                        skewed_trace(/*seed=*/19),
+                        [&](int b, int len) {
+                            return prefills[m]->program(b, len);
+                        },
+                        [&](int b) { return decodes[m]->program(b); });
+                }
+                cell.iterations = rep.iterations;
+                cell.tokens = rep.tokens;
+                return digest_report(rep);
+            });
+        });
+    cells.insert(cells.end(), serve_cells.begin(), serve_cells.end());
+
+    // --- engine micro sections -------------------------------------
+    // Sized in work units, not wall-clock, so the JSON trajectory is
+    // comparable across machines of different speeds.
+    const int step_runs = fast ? 20 : 50;
+    const int kv_ops = fast ? 20000 : 100000;
+    const int flow_groups = fast ? 2000 : 8000;
+
+    {
+        PerfCell cell;
+        cell.phase = "engine_micro";
+        cell.name = "engine_step";
+        cell.unit = "steps/s";
+        auto program = decodes.back()->program(batch);  // ideal mode
+        const sim::Machine& machine = decodes.back()->machine();
+        time_cell(cell, warmup, repeat, [&] {
+            sim::EngineState::Options opts;
+            opts.residency_budget =
+                machine.config().usable_sram_per_core() / 2;
+            sim::EngineState state(machine, opts);
+            int64_t steps = 0;
+            util::Fnv1a h;
+            for (int run = 0; run < step_runs; ++run) {
+                state.begin(*program);
+                while (state.step()) {
+                    ++steps;
+                }
+                sim::SimResult r = state.finish();
+                h.mix_value(r.total_time);
+                h.mix_value(r.hbm_util);
+            }
+            h.mix_value(steps);
+            h.mix_value(state.resident_hits());
+            cell.work = static_cast<double>(steps);
+            return h.hex();
+        });
+        cells.push_back(cell);
+    }
+
+    {
+        PerfCell cell;
+        cell.phase = "engine_micro";
+        cell.name = "kv_pool";
+        cell.unit = "ops/s";
+        const sim::Machine& machine = decodes.front()->machine();
+        time_cell(cell, warmup, repeat, [&] {
+            sim::EngineState::Options opts;
+            opts.kv_budget = 256 * 1024;
+            sim::EngineState state(machine, opts);
+            const int window = 64;  // live segments at steady state
+            int64_t ops = 0;
+            for (int i = 0; i < kv_ops; ++i) {
+                const uint64_t bytes = (i % 7 + 1) * 2048;
+                if (state.kv_alloc(i, bytes)) {
+                    state.kv_pin(i);
+                    state.kv_unpin(i);
+                    ops += 2;
+                }
+                state.kv_grow(i, 2048);
+                ops += 2;
+                if (i >= window) {
+                    const int victim = i - window;
+                    state.kv_fetch(victim);
+                    state.kv_free(victim);
+                    ops += 2;
+                }
+            }
+            util::Fnv1a h;
+            h.mix_value(state.kv_bytes());
+            h.mix_value(state.kv_bytes_peak());
+            h.mix_value(state.kv_evictions());
+            h.mix_value(state.kv_segments());
+            cell.work = static_cast<double>(ops);
+            return h.hex();
+        });
+        cells.push_back(cell);
+    }
+
+    {
+        PerfCell cell;
+        cell.phase = "engine_micro";
+        cell.name = "fluid_network";
+        cell.unit = "flows/s";
+        const sim::Machine& machine = decodes.front()->machine();
+        time_cell(cell, warmup, repeat, [&] {
+            int64_t flows = 0;
+            double sum = 0.0;
+            // Groups of contending preload + peer flows, drained to
+            // completion; a fresh network per group bounds the flow
+            // table like one program's lifetime does.
+            for (int g = 0; g < flow_groups; ++g) {
+                sim::FluidNetwork net(machine.capacities());
+                const double mb = 1024.0 * 1024.0;
+                net.add_flow(
+                    (g % 13 + 1) * mb,
+                    machine.preload_weights((g % 13 + 1) * mb,
+                                            (g % 3 + 1) * mb),
+                    sim::FlowTag::kHbmPreload);
+                net.add_flow((g % 5 + 1) * mb, machine.peer_weights(),
+                             sim::FlowTag::kDistribute);
+                net.add_flow((g % 9 + 1) * mb, machine.peer_weights(),
+                             sim::FlowTag::kExecFetch);
+                flows += 3;
+                while (net.num_active() > 0) {
+                    double dt = net.time_to_next_completion();
+                    sum += dt * net.resource_usage(
+                                    sim::Resources::kHbmDram);
+                    net.advance(dt);
+                }
+            }
+            util::Fnv1a h;
+            h.mix_value(sum);
+            h.mix_value(flows);
+            cell.work = static_cast<double>(flows);
+            return h.hex();
+        });
+        cells.push_back(cell);
+    }
+
+    // --- report ----------------------------------------------------
+    util::Table table({"phase", "cell", "rate", "unit", "wall_min(s)",
+                       "iters", "digest"});
+    for (const PerfCell& c : cells) {
+        table.add(c.phase, c.name, c.rate(), c.unit, c.min_wall(),
+                  c.iterations, c.digest);
+    }
+    table.print("simulator raw speed (" + model.name + ", " +
+                std::to_string(requests) + " reqs, warmup " +
+                std::to_string(warmup) + ", repeat " +
+                std::to_string(repeat) + ")");
+    table.write_csv("perf");
+
+    if (!json_path.empty()) {
+        write_json(json_path, cells, jobs, warmup, repeat, fast);
+    }
+    return 0;
+}

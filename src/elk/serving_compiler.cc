@@ -1,5 +1,7 @@
 #include "elk/serving_compiler.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "graph/model_builder.h"
@@ -67,8 +69,19 @@ ServingCompiler::program(int batch, int prompt_len)
                     prompt_len == seq_,
                 "ServingCompiler: decode programs are compiled at the "
                 "model sequence length only");
-    std::lock_guard<std::mutex> lock(mu_);
     const std::pair<int, int> key(batch, prompt_len);
+    {
+        // Warm-grid fast path: the per-iteration lookup shares the
+        // lock with every other server thread.
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            return it->second.program;
+        }
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Double-check: another thread may have compiled the bucket
+    // between the two locks.
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         return it->second.program;
@@ -110,7 +123,7 @@ ServingCompiler::program(int batch, int prompt_len)
 double
 ServingCompiler::compile_seconds() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return compile_seconds_;
 }
 

@@ -23,15 +23,18 @@
  * one EngineState residency pool without op-id aliasing.
  *
  * Thread-safe: replica sweeps share one instance (and its PlanCache)
- * across worker threads; compiles are serialized by an internal lock
- * so each bucket is compiled exactly once.
+ * across worker threads. The per-iteration lookup of an
+ * already-compiled bucket — the overwhelmingly common case once the
+ * grid is warm — takes a shared (reader) lock only; a miss upgrades
+ * to the exclusive lock and double-checks before compiling, so each
+ * bucket is still compiled exactly once.
  */
 #ifndef ELK_ELK_SERVING_COMPILER_H
 #define ELK_ELK_SERVING_COMPILER_H
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "elk/compiler.h"
@@ -141,7 +144,7 @@ class ServingCompiler {
     int jobs_;
     Options serving_opts_;
     sim::Machine machine_;
-    mutable std::mutex mu_;
+    mutable std::shared_mutex mu_;
     /// (batch, prompt_len) -> compiled chain.
     std::map<std::pair<int, int>, Entry> entries_;
     double compile_seconds_ = 0.0;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <map>
 #include <random>
 #include <sstream>
 #include <utility>
@@ -117,9 +116,16 @@ class DisaggRun {
     /// Arrival time of the next unadmitted high-priority request.
     void refresh_next_high();
     /// Claims up to @p cap members from @p hi (then @p lo, unless
-    /// high_only) in queue order.
-    std::vector<int> claim(std::deque<int>& hi, std::deque<int>& lo,
-                           int cap, bool high_only);
+    /// high_only) in queue order, appending to @p members.
+    void claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
+               bool high_only, std::vector<int>& members);
+    /// Borrows an empty member-list from the scratch pool (capacity
+    /// retained from earlier iterations). Pool discipline instead of
+    /// one shared buffer because a preemption nests a second
+    /// iteration inside execute() while the victim's list is live.
+    std::vector<int> acquire_scratch();
+    /// Returns a borrowed list to the pool.
+    void release_scratch(std::vector<int>&& v);
     /// begin/step/finish one program; steps watch for preemption when
     /// @p can_preempt.
     IterOutcome execute(const sim::SimProgram& program, bool can_preempt);
@@ -201,8 +207,14 @@ class DisaggRun {
     util::WeightedMean noc_mean_;
     double steady_preload_sum_ = 0.0;
     int steady_iterations_ = 0;
-    /// (prompt_len bucket, batch bucket) -> prefill iterations.
-    std::map<std::pair<int, int>, int> bucket_iters_;
+    /// Prefill iteration counts, sorted by (prompt_len bucket, batch
+    /// bucket) — the grid is tiny, so a flat sorted vector beats a
+    /// node-based map on the per-iteration increment and reads out in
+    /// the same ascending order the report expects.
+    std::vector<ServingReport::PrefillBucket> bucket_iters_;
+    /// Scratch pool for per-iteration member lists (see
+    /// acquire_scratch).
+    std::vector<std::vector<int>> scratch_pool_;
 
     /// KV modeling on (ServerOptions::kv_budget > 0).
     bool kv_on_ = false;
@@ -249,11 +261,10 @@ DisaggRun::refresh_next_high()
                              : kInf;
 }
 
-std::vector<int>
+void
 DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
-                 bool high_only)
+                 bool high_only, std::vector<int>& members)
 {
-    std::vector<int> members;
     while (!hi.empty() && static_cast<int>(members.size()) < cap) {
         members.push_back(hi.front());
         hi.pop_front();
@@ -264,7 +275,24 @@ DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
             lo.pop_front();
         }
     }
-    return members;
+}
+
+std::vector<int>
+DisaggRun::acquire_scratch()
+{
+    if (scratch_pool_.empty()) {
+        return {};
+    }
+    std::vector<int> v = std::move(scratch_pool_.back());
+    scratch_pool_.pop_back();
+    v.clear();
+    return v;
+}
+
+void
+DisaggRun::release_scratch(std::vector<int>&& v)
+{
+    scratch_pool_.push_back(std::move(v));
 }
 
 bool
@@ -428,10 +456,10 @@ void
 DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                                  bool force_admit)
 {
-    std::vector<int> members;
+    std::vector<int> members = acquire_scratch();
     if (!kv_on_) {
-        members =
-            claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only);
+        claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only,
+              members);
     } else {
         // KV-gated claiming: members are taken in the usual order
         // (high first, FIFO within a class) but each prompt must fit
@@ -494,7 +522,23 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     rep_.prompt_tokens += actual_tokens;
     rep_.padded_prompt_tokens +=
         static_cast<int64_t>(bucket) * len_bucket - actual_tokens;
-    ++bucket_iters_[{len_bucket, bucket}];
+    {
+        auto pos = std::lower_bound(
+            bucket_iters_.begin(), bucket_iters_.end(),
+            std::pair<int, int>(len_bucket, bucket),
+            [](const ServingReport::PrefillBucket& b,
+               const std::pair<int, int>& key) {
+                return std::pair<int, int>(b.prompt_len, b.batch) < key;
+            });
+        if (pos == bucket_iters_.end() ||
+            pos->prompt_len != len_bucket || pos->batch != bucket) {
+            ServingReport::PrefillBucket b;
+            b.prompt_len = len_bucket;
+            b.batch = bucket;
+            pos = bucket_iters_.insert(pos, b);
+        }
+        ++pos->iterations;
+    }
 
     bool protected_iter = false;
     for (int r : members) {
@@ -516,6 +560,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
         (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
             .push_back(r);
     }
+    release_scratch(std::move(members));
 }
 
 void
@@ -523,11 +568,10 @@ DisaggRun::run_decode_iteration(bool interruptible)
 {
     // Iteration-level batching: waiting requests claim free batch
     // slots at the iteration boundary, high-priority first.
-    std::vector<int> joined =
-        claim(dec_hi_, dec_lo_,
-              opts_.max_batch - static_cast<int>(running_.size()),
-              /*high_only=*/false);
-    running_.insert(running_.end(), joined.begin(), joined.end());
+    // claim() caps the list's total size, so appending to running_
+    // directly fills exactly the free batch slots.
+    claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/false,
+          running_);
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
 
@@ -568,8 +612,8 @@ DisaggRun::run_decode_iteration(bool interruptible)
 void
 DisaggRun::run_decode_mini_high()
 {
-    std::vector<int> mini =
-        claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/true);
+    std::vector<int> mini = acquire_scratch();
+    claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/true, mini);
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     int bucket = pick_bucket(opts_.batch_buckets,
@@ -589,7 +633,7 @@ DisaggRun::run_decode_mini_high()
     // Completions leave; survivors return to the head of the
     // high-priority queue and merge into the running batch at the
     // next boundary.
-    std::vector<int> survivors;
+    std::vector<int> survivors = acquire_scratch();
     for (int r : mini) {
         bool done = --tokens_left_[r] == 0;
         if (kv_on_) {
@@ -605,6 +649,8 @@ DisaggRun::run_decode_mini_high()
     for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) {
         dec_hi_.push_front(*it);
     }
+    release_scratch(std::move(survivors));
+    release_scratch(std::move(mini));
 }
 
 void
@@ -621,40 +667,41 @@ DisaggRun::finalize()
         steady_iterations_ > 0
             ? steady_preload_sum_ / steady_iterations_
             : rep_.first_decode_preload;
+    // High-priority latencies are collected before latencies_ is
+    // sorted in place below (request indexing would be lost after).
+    std::vector<double> high;
+    high.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        if (requests_[i].priority == Priority::kHigh) {
+            high.push_back(latencies_[i]);
+        }
+    }
     if (n > 0) {
+        // Mean first (summation order is the arrival order, as the
+        // per-sample percentile() calls left it), then one sort
+        // serves every percentile read.
         rep_.mean_latency = util::mean(latencies_);
-        rep_.p50_latency = util::percentile(latencies_, 50.0);
-        rep_.p95_latency = util::percentile(latencies_, 95.0);
-        rep_.p99_latency = util::percentile(latencies_, 99.0);
-        rep_.max_latency =
-            *std::max_element(latencies_.begin(), latencies_.end());
+        std::sort(latencies_.begin(), latencies_.end());
+        rep_.p50_latency = util::percentile_sorted(latencies_, 50.0);
+        rep_.p95_latency = util::percentile_sorted(latencies_, 95.0);
+        rep_.p99_latency = util::percentile_sorted(latencies_, 99.0);
+        rep_.max_latency = latencies_.back();
     }
     rep_.resident_bytes = state_.resident_bytes();
     rep_.preloads_skipped = state_.resident_hits();
 
     if (!ttfts_.empty()) {
         rep_.mean_ttft = util::mean(ttfts_);
-        rep_.p50_ttft = util::percentile(ttfts_, 50.0);
-        rep_.p95_ttft = util::percentile(ttfts_, 95.0);
-        rep_.max_ttft =
-            *std::max_element(ttfts_.begin(), ttfts_.end());
+        std::sort(ttfts_.begin(), ttfts_.end());
+        rep_.p50_ttft = util::percentile_sorted(ttfts_, 50.0);
+        rep_.p95_ttft = util::percentile_sorted(ttfts_, 95.0);
+        rep_.max_ttft = ttfts_.back();
     }
-    for (const auto& [key, iters] : bucket_iters_) {
-        ServingReport::PrefillBucket b;
-        b.prompt_len = key.first;
-        b.batch = key.second;
-        b.iterations = iters;
-        rep_.prefill_bucket_iterations.push_back(b);
-    }
-    std::vector<double> high;
-    for (int i = 0; i < n; ++i) {
-        if (requests_[i].priority == Priority::kHigh) {
-            high.push_back(latencies_[i]);
-        }
-    }
+    rep_.prefill_bucket_iterations = bucket_iters_;
     rep_.high_priority_requests = static_cast<int>(high.size());
     if (!high.empty()) {
-        rep_.p95_high_latency = util::percentile(high, 95.0);
+        std::sort(high.begin(), high.end());
+        rep_.p95_high_latency = util::percentile_sorted(high, 95.0);
     }
     if (kv_on_) {
         rep_.kv_bytes_peak = state_.kv_bytes_peak();
@@ -670,6 +717,8 @@ DisaggRun::run()
     kv_on_ = opts_.kv_budget > 0;
     tokens_left_.resize(n);
     latencies_.assign(n, 0.0);
+    ttfts_.reserve(n);
+    running_.reserve(opts_.max_batch);
     kv_tokens_.assign(n, -1);
     kv_pinned_.assign(n, false);
     for (int i = 0; i < n; ++i) {
@@ -1017,6 +1066,7 @@ Server::serve(const std::vector<double>& arrivals,
         int tokens_left = 0;
     };
     std::vector<Active> running;
+    running.reserve(opts_.max_batch);
     std::deque<int> waiting;
     int next_arrival = 0;
     int completed = 0;
@@ -1118,12 +1168,14 @@ Server::serve(const std::vector<double>& arrivals,
         steady_iterations > 0 ? steady_preload_sum / steady_iterations
                               : rep.first_decode_preload;
     if (n > 0) {
+        // Mean first (arrival-order summation), then sort once for
+        // every percentile — mirrored from DisaggRun::finalize().
         rep.mean_latency = util::mean(latencies);
-        rep.p50_latency = util::percentile(latencies, 50.0);
-        rep.p95_latency = util::percentile(latencies, 95.0);
-        rep.p99_latency = util::percentile(latencies, 99.0);
-        rep.max_latency =
-            *std::max_element(latencies.begin(), latencies.end());
+        std::sort(latencies.begin(), latencies.end());
+        rep.p50_latency = util::percentile_sorted(latencies, 50.0);
+        rep.p95_latency = util::percentile_sorted(latencies, 95.0);
+        rep.p99_latency = util::percentile_sorted(latencies, 99.0);
+        rep.max_latency = latencies.back();
     }
     rep.resident_bytes = state.resident_bytes();
     rep.preloads_skipped = state.resident_hits();

@@ -98,10 +98,35 @@ EngineState::done() const
 }
 
 void
+EngineState::reset_frame()
+{
+    // Every serving iteration runs begin()/finish() on this state, so
+    // the frame's heap blocks — the network's flow table and the
+    // per-op vectors — are lifted out, cleared (capacity kept), and
+    // put back into the otherwise default-constructed frame.
+    std::optional<FluidNetwork> net = std::move(f_.net);
+    std::vector<OpTiming> timing = std::move(f_.result.timing);
+    std::vector<bool> preload_done = std::move(f_.preload_done);
+    std::vector<bool> used_resident = std::move(f_.used_resident);
+    f_ = Frame{};
+    if (net) {
+        net->reset_flows();
+    }
+    timing.clear();
+    preload_done.clear();
+    used_resident.clear();
+    f_.net = std::move(net);
+    f_.result.timing = std::move(timing);
+    f_.preload_done = std::move(preload_done);
+    f_.used_resident = std::move(used_resident);
+}
+
+void
 EngineState::begin(const SimProgram& program)
 {
     util::check(done(), "EngineState: begin() while a program is running");
     program.validate();
+    check_pool_invariants();
     const int n = static_cast<int>(program.ops.size());
 
     // Evict resident entries this program would stale-hit: the op id
@@ -110,30 +135,45 @@ EngineState::begin(const SimProgram& program)
     // op ids the program does not mention stay — they may belong to
     // another program class sharing the pool (prefill vs decode use
     // disjoint id spaces) — and pinned entries always stay: they are
-    // in use by a parked program.
+    // in use by a parked program. The program's (op_id, exec index)
+    // lookup lives in reused scratch; keeping the first exec index of
+    // a duplicated op id matches the old map's emplace semantics, and
+    // the in-order compaction preserves the pool's sort.
     if (!resident_.empty()) {
-        std::map<int, int> by_id;  // op_id -> exec index
+        begin_scratch_.clear();
         for (int i = 0; i < n; ++i) {
-            by_id.emplace(program.ops[i].op_id, i);
+            begin_scratch_.emplace_back(program.ops[i].op_id, i);
         }
-        for (auto it = resident_.begin(); it != resident_.end();) {
-            auto hit = by_id.find(it->first);
-            bool stale = hit != by_id.end() &&
-                         !entry_matches(it->second, program.ops[hit->second]);
-            if (stale && it->second.pin_count == 0) {
-                occupancy_ -= static_cast<double>(it->second.space);
-                resident_bytes_ -= it->second.space;
-                it = resident_.erase(it);
-            } else {
-                ++it;
+        std::sort(begin_scratch_.begin(), begin_scratch_.end());
+        size_t out = 0;
+        for (size_t i = 0; i < resident_.size(); ++i) {
+            const ResidentSlot& slot = resident_[i];
+            auto hit = std::lower_bound(
+                begin_scratch_.begin(), begin_scratch_.end(),
+                std::pair<int, int>(slot.op_id, -1));
+            bool stale = hit != begin_scratch_.end() &&
+                         hit->first == slot.op_id &&
+                         !entry_matches(slot.entry,
+                                        program.ops[hit->second]);
+            if (stale && slot.entry.pin_count == 0) {
+                occupancy_ -= static_cast<double>(slot.entry.space);
+                resident_bytes_ -= slot.entry.space;
+                continue;
             }
+            if (out != i) {
+                resident_[out] = slot;
+            }
+            ++out;
         }
+        resident_.resize(out);
     }
 
     clock_base_ += f_.t;  // previous program's span becomes history
-    f_ = Frame{};
+    reset_frame();
     f_.program = &program;
-    f_.net.emplace(machine_.capacities());
+    if (!f_.net) {
+        f_.net.emplace(machine_.capacities());
+    }
     f_.result.timing.assign(n, {});
     for (int i = 0; i < n; ++i) {
         f_.result.timing[i].op_id = program.ops[i].op_id;
@@ -224,41 +264,57 @@ EngineState::kv_score(const KvSegment& seg) const
            (1.0 + static_cast<double>(seg.hits));
 }
 
-std::map<int64_t, EngineState::KvSegment>::iterator
+int
+EngineState::kv_find(int64_t id) const
+{
+    auto it = std::lower_bound(
+        kv_.begin(), kv_.end(), id,
+        [](const KvSlot& slot, int64_t key) { return slot.id < key; });
+    if (it == kv_.end() || it->id != id) {
+        return -1;
+    }
+    return static_cast<int>(it - kv_.begin());
+}
+
+int
 EngineState::kv_pick_victim(int64_t excluded_id)
 {
-    auto victim = kv_.end();
-    for (auto it = kv_.begin(); it != kv_.end(); ++it) {
-        if (!it->second.resident || it->second.pin_count > 0 ||
-            it->first == excluded_id) {
+    // Ascending id order — the old map's iteration order — so policy
+    // ties resolve identically.
+    int victim = -1;
+    for (size_t i = 0; i < kv_.size(); ++i) {
+        const KvSegment& seg = kv_[i].seg;
+        if (!seg.resident || seg.pin_count > 0 ||
+            kv_[i].id == excluded_id) {
             continue;
         }
-        if (victim == kv_.end()) {
-            victim = it;
+        if (victim < 0) {
+            victim = static_cast<int>(i);
             continue;
         }
+        const KvSegment& best = kv_[victim].seg;
         bool better;
         if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
-            double s = kv_score(it->second);
-            double v = kv_score(victim->second);
-            better = s < v ||
-                     (s == v && it->second.seq < victim->second.seq);
+            double s = kv_score(seg);
+            double v = kv_score(best);
+            better = s < v || (s == v && seg.seq < best.seq);
         } else {
-            better = it->second.seq < victim->second.seq;
+            better = seg.seq < best.seq;
         }
         if (better) {
-            victim = it;
+            victim = static_cast<int>(i);
         }
     }
     return victim;
 }
 
 void
-EngineState::kv_spill(std::map<int64_t, KvSegment>::iterator victim)
+EngineState::kv_spill(int idx)
 {
-    victim->second.resident = false;
-    kv_resident_bytes_ -= victim->second.bytes;
-    occupancy_ -= static_cast<double>(victim->second.bytes);
+    KvSegment& seg = kv_[idx].seg;
+    seg.resident = false;
+    kv_resident_bytes_ -= seg.bytes;
+    occupancy_ -= static_cast<double>(seg.bytes);
     ++kv_evictions_;
 }
 
@@ -272,8 +328,8 @@ EngineState::kv_make_room(uint64_t need, int64_t excluded_id)
         return false;
     }
     while (kv_resident_bytes_ + need > opts_.kv_budget) {
-        auto victim = kv_pick_victim(excluded_id);
-        if (victim == kv_.end()) {
+        int victim = kv_pick_victim(excluded_id);
+        if (victim < 0) {
             return false;  // only pinned (or excluded) segments left
         }
         kv_spill(victim);
@@ -284,14 +340,21 @@ EngineState::kv_make_room(uint64_t need, int64_t excluded_id)
 bool
 EngineState::kv_alloc(int64_t id, uint64_t per_core_bytes)
 {
-    util::check(kv_.find(id) == kv_.end(),
+    auto pos = std::lower_bound(
+        kv_.begin(), kv_.end(), id,
+        [](const KvSlot& slot, int64_t key) { return slot.id < key; });
+    util::check(pos == kv_.end() || pos->id != id,
                 "EngineState: kv_alloc() of an existing segment");
-    KvSegment seg;
-    seg.bytes = per_core_bytes;
-    seg.seq = resident_seq_++;
-    auto it = kv_.emplace(id, seg).first;
+    KvSlot slot;
+    slot.id = id;
+    slot.seg.bytes = per_core_bytes;
+    slot.seg.seq = resident_seq_++;
+    // Insertion keeps the sort; kv_make_room only marks segments
+    // spilled (no erase), so the index stays valid across it.
+    const int idx = static_cast<int>(pos - kv_.begin());
+    kv_.insert(pos, slot);
     if (kv_make_room(per_core_bytes, id)) {
-        it->second.resident = true;
+        kv_[idx].seg.resident = true;
         kv_resident_bytes_ += per_core_bytes;
         occupancy_ += static_cast<double>(per_core_bytes);
         kv_bytes_peak_ = std::max(kv_bytes_peak_, kv_resident_bytes_);
@@ -299,16 +362,16 @@ EngineState::kv_alloc(int64_t id, uint64_t per_core_bytes)
     // Pressure relief may spill the newcomer right back out (it is
     // unpinned and freshest); report what actually stuck.
     relieve_pressure();
-    return it->second.resident;
+    return kv_[idx].seg.resident;
 }
 
 bool
 EngineState::kv_fetch(int64_t id)
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end(),
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
                 "EngineState: kv_fetch() of an unowned segment");
-    KvSegment& seg = it->second;
+    KvSegment& seg = kv_[idx].seg;
     if (seg.resident) {
         return true;
     }
@@ -327,10 +390,10 @@ EngineState::kv_fetch(int64_t id)
 void
 EngineState::kv_grow(int64_t id, uint64_t per_core_bytes)
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end(),
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
                 "EngineState: kv_grow() of an unowned segment");
-    KvSegment& seg = it->second;
+    KvSegment& seg = kv_[idx].seg;
     seg.bytes += per_core_bytes;
     if (!seg.resident) {
         return;  // grows in HBM for free
@@ -343,7 +406,7 @@ EngineState::kv_grow(int64_t id, uint64_t per_core_bytes)
         // unless a pin (a parked consumer) forbids it, in which case
         // the overshoot stands until the pin drops.
         if (seg.pin_count == 0) {
-            kv_spill(it);
+            kv_spill(idx);
         }
     }
     if (seg.resident) {
@@ -355,95 +418,141 @@ EngineState::kv_grow(int64_t id, uint64_t per_core_bytes)
 void
 EngineState::kv_pin(int64_t id)
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end() && it->second.resident,
+    const int idx = kv_find(id);
+    util::check(idx >= 0 && kv_[idx].seg.resident,
                 "EngineState: kv_pin() needs a resident segment");
-    ++it->second.pin_count;
-    ++it->second.hits;
-    it->second.seq = resident_seq_++;
+    ++kv_[idx].seg.pin_count;
+    ++kv_[idx].seg.hits;
+    kv_[idx].seg.seq = resident_seq_++;
 }
 
 void
 EngineState::kv_unpin(int64_t id)
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end() && it->second.pin_count > 0,
+    const int idx = kv_find(id);
+    util::check(idx >= 0 && kv_[idx].seg.pin_count > 0,
                 "EngineState: kv_unpin() without a pin");
-    --it->second.pin_count;
+    --kv_[idx].seg.pin_count;
 }
 
 void
 EngineState::kv_free(int64_t id)
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end(),
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
                 "EngineState: kv_free() of an unowned segment");
-    util::check(it->second.pin_count == 0,
+    util::check(kv_[idx].seg.pin_count == 0,
                 "EngineState: kv_free() of a pinned segment");
-    if (it->second.resident) {
-        kv_resident_bytes_ -= it->second.bytes;
-        occupancy_ -= static_cast<double>(it->second.bytes);
+    if (kv_[idx].seg.resident) {
+        kv_resident_bytes_ -= kv_[idx].seg.bytes;
+        occupancy_ -= static_cast<double>(kv_[idx].seg.bytes);
     }
-    kv_.erase(it);
+    kv_.erase(kv_.begin() + idx);
 }
 
 bool
 EngineState::kv_resident(int64_t id) const
 {
-    auto it = kv_.find(id);
-    return it != kv_.end() && it->second.resident;
+    const int idx = kv_find(id);
+    return idx >= 0 && kv_[idx].seg.resident;
 }
 
 uint64_t
 EngineState::kv_segment_bytes(int64_t id) const
 {
-    auto it = kv_.find(id);
-    util::check(it != kv_.end(),
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
                 "EngineState: kv_segment_bytes() of an unowned segment");
-    return it->second.bytes;
+    return kv_[idx].seg.bytes;
 }
 
 bool
 EngineState::kv_would_fit(uint64_t per_core_bytes) const
 {
+    // O(1) by the running counter; the debug audit proves the counter
+    // equal to a full pool rescan on every probe.
+    check_pool_invariants();
     return opts_.kv_budget == 0 ||
            kv_resident_bytes_ + per_core_bytes <= opts_.kv_budget;
 }
 
-std::map<int, EngineState::ResidentEntry>::iterator
+void
+EngineState::check_pool_invariants() const
+{
+#ifndef NDEBUG
+    uint64_t weight_bytes = 0;
+    for (size_t i = 0; i < resident_.size(); ++i) {
+        weight_bytes += resident_[i].entry.space;
+        util::check(i == 0 ||
+                        resident_[i - 1].op_id < resident_[i].op_id,
+                    "EngineState: weight pool out of order");
+    }
+    util::check(weight_bytes == resident_bytes_,
+                "EngineState: resident_bytes_ drifted from the pool");
+    uint64_t kv_bytes = 0;
+    for (size_t i = 0; i < kv_.size(); ++i) {
+        if (kv_[i].seg.resident) {
+            kv_bytes += kv_[i].seg.bytes;
+        }
+        util::check(i == 0 || kv_[i - 1].id < kv_[i].id,
+                    "EngineState: KV pool out of order");
+    }
+    util::check(kv_bytes == kv_resident_bytes_,
+                "EngineState: kv_resident_bytes_ drifted from the pool");
+#endif
+}
+
+int
+EngineState::resident_find(int op_id) const
+{
+    auto it = std::lower_bound(
+        resident_.begin(), resident_.end(), op_id,
+        [](const ResidentSlot& slot, int key) {
+            return slot.op_id < key;
+        });
+    if (it == resident_.end() || it->op_id != op_id) {
+        return -1;
+    }
+    return static_cast<int>(it - resident_.begin());
+}
+
+int
 EngineState::pick_victim()
 {
-    auto victim = resident_.end();
-    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
-        if (it->second.pin_count > 0) {
+    // Ascending op-id order — the old map's iteration order — so
+    // policy ties resolve identically.
+    int victim = -1;
+    for (size_t i = 0; i < resident_.size(); ++i) {
+        const ResidentEntry& entry = resident_[i].entry;
+        if (entry.pin_count > 0) {
             continue;
         }
-        if (victim == resident_.end()) {
-            victim = it;
+        if (victim < 0) {
+            victim = static_cast<int>(i);
             continue;
         }
+        const ResidentEntry& best = resident_[victim].entry;
         bool better;
         if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
-            double s = entry_score(it->second);
-            double v = entry_score(victim->second);
-            better = s < v ||
-                     (s == v && it->second.seq < victim->second.seq);
+            double s = entry_score(entry);
+            double v = entry_score(best);
+            better = s < v || (s == v && entry.seq < best.seq);
         } else {
-            better = it->second.seq < victim->second.seq;
+            better = entry.seq < best.seq;
         }
         if (better) {
-            victim = it;
+            victim = static_cast<int>(i);
         }
     }
     return victim;
 }
 
 void
-EngineState::evict(std::map<int, ResidentEntry>::iterator victim)
+EngineState::evict(int idx)
 {
-    occupancy_ -= static_cast<double>(victim->second.space);
-    resident_bytes_ -= victim->second.space;
-    resident_.erase(victim);
+    occupancy_ -= static_cast<double>(resident_[idx].entry.space);
+    resident_bytes_ -= resident_[idx].entry.space;
+    resident_.erase(resident_.begin() + idx);
     ++resident_evictions_;
 }
 
@@ -460,10 +569,10 @@ EngineState::relieve_pressure()
         // across both classes goes first (lower seq under retire
         // order, lower worth under frequency-aware, ties by seq —
         // the seq counter is shared, so ties cannot cross classes).
-        auto w = pick_victim();
-        auto k = kv_pick_victim();
-        bool have_w = w != resident_.end();
-        bool have_k = k != kv_.end();
+        int w = pick_victim();
+        int k = kv_pick_victim();
+        bool have_w = w >= 0;
+        bool have_k = k >= 0;
         if (!have_w && !have_k) {
             break;  // everything left is pinned by running programs
         }
@@ -471,12 +580,12 @@ EngineState::relieve_pressure()
         if (!have_w || !have_k) {
             take_kv = have_k;
         } else if (opts_.policy == ResidencyPolicy::kFrequencyAware) {
-            double ws = entry_score(w->second);
-            double ks = kv_score(k->second);
+            double ws = entry_score(resident_[w].entry);
+            double ks = kv_score(kv_[k].seg);
             take_kv = ks < ws ||
-                      (ks == ws && k->second.seq < w->second.seq);
+                      (ks == ws && kv_[k].seg.seq < resident_[w].entry.seq);
         } else {
-            take_kv = k->second.seq < w->second.seq;
+            take_kv = kv_[k].seg.seq < resident_[w].entry.seq;
         }
         if (take_kv) {
             kv_spill(k);
@@ -495,15 +604,16 @@ EngineState::retire_op(int i)
         // This program's preload consumed the entry: one consumer
         // done, weights stay in place, refreshed for recency-based
         // eviction. The entry is pinned, so it cannot have vanished.
-        auto it = resident_.find(op.op_id);
-        util::check(it != resident_.end(),
+        const int idx = resident_find(op.op_id);
+        util::check(idx >= 0,
                     "EngineState: consumed resident entry vanished");
-        it->second.pin_count = std::max(0, it->second.pin_count - 1);
-        it->second.seq = resident_seq_++;
+        ResidentEntry& entry = resident_[idx].entry;
+        entry.pin_count = std::max(0, entry.pin_count - 1);
+        entry.seq = resident_seq_++;
         occupancy_ += static_cast<double>(op.preload_space);
         return;
     }
-    if (resident_.find(op.op_id) != resident_.end()) {
+    if (resident_find(op.op_id) >= 0) {
         // An entry under this id appeared independently (admitted by
         // an interleaved program while we were parked, or a stale one
         // belonging to a parked program). This op preloaded its own
@@ -527,18 +637,19 @@ EngineState::retire_op(int i)
         candidate.dram_bytes = op.dram_bytes;
         const double cand_score = entry_score(candidate);
         uint64_t displaceable = 0;
-        for (const auto& [id, entry] : resident_) {
-            if (entry.pin_count == 0 && entry_score(entry) < cand_score) {
-                displaceable += entry.space;
+        for (const ResidentSlot& slot : resident_) {
+            if (slot.entry.pin_count == 0 &&
+                entry_score(slot.entry) < cand_score) {
+                displaceable += slot.entry.space;
             }
         }
         if (resident_bytes_ - displaceable + op.preload_space <=
             opts_.residency_budget) {
             while (resident_bytes_ + op.preload_space >
                    opts_.residency_budget) {
-                auto victim = pick_victim();
-                if (victim == resident_.end() ||
-                    entry_score(victim->second) >= cand_score) {
+                int victim = pick_victim();
+                if (victim < 0 ||
+                    entry_score(resident_[victim].entry) >= cand_score) {
                     break;  // unreachable given the feasibility check
                 }
                 evict(victim);
@@ -546,11 +657,18 @@ EngineState::retire_op(int i)
         }
     }
     if (resident_bytes_ + op.preload_space <= opts_.residency_budget) {
-        ResidentEntry entry;
-        entry.space = op.preload_space;
-        entry.dram_bytes = op.dram_bytes;
-        entry.seq = resident_seq_++;
-        resident_.emplace(op.op_id, entry);
+        ResidentSlot slot;
+        slot.op_id = op.op_id;
+        slot.entry.space = op.preload_space;
+        slot.entry.dram_bytes = op.dram_bytes;
+        slot.entry.seq = resident_seq_++;
+        resident_.insert(
+            std::lower_bound(resident_.begin(), resident_.end(),
+                             op.op_id,
+                             [](const ResidentSlot& s, int key) {
+                                 return s.op_id < key;
+                             }),
+            slot);
         resident_bytes_ += op.preload_space;
         occupancy_ += static_cast<double>(op.preload_space);
     }
@@ -561,8 +679,8 @@ EngineState::resident_op_ids() const
 {
     std::vector<int> ids;
     ids.reserve(resident_.size());
-    for (const auto& [id, entry] : resident_) {
-        ids.push_back(id);
+    for (const ResidentSlot& slot : resident_) {
+        ids.push_back(slot.op_id);
     }
     return ids;
 }
@@ -587,15 +705,15 @@ EngineState::advance_transitions()
             if (f_.completed_execs >= slot) {
                 const SimOp& op = program.ops[op_idx];
                 f_.result.timing[op_idx].pre_start = f_.t;
-                auto res = resident_.find(op.op_id);
-                if (res != resident_.end() &&
-                    entry_matches(res->second, op)) {
+                const int res = resident_find(op.op_id);
+                if (res >= 0 &&
+                    entry_matches(resident_[res].entry, op)) {
                     // Weights already in SRAM from an earlier program:
                     // the preload completes instantly with no HBM
                     // traffic. Pin the entry until the execute retires
                     // so pressure eviction cannot take it first.
-                    ++res->second.pin_count;
-                    ++res->second.hits;
+                    ++resident_[res].entry.pin_count;
+                    ++resident_[res].entry.hits;
                     ++resident_hits_;
                     f_.result.timing[op_idx].pre_end = f_.t;
                     f_.preload_done[op_idx] = true;
@@ -839,7 +957,8 @@ EngineState::finish()
     SimResult out = std::move(f_.result);
     f_.result = SimResult{};
     f_.program = nullptr;
-    f_.net.reset();
+    // The network object survives for the next begin() (reset_frame
+    // clears its flows but keeps the table's allocation).
     return out;
 }
 

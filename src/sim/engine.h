@@ -33,10 +33,10 @@
 #define ELK_SIM_ENGINE_H
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/machine.h"
@@ -426,21 +426,32 @@ class EngineState {
     /// Resident worth under kFrequencyAware (saved HBM bytes per
     /// resident byte, scaled by reuse).
     static double entry_score(const ResidentEntry& entry);
+    /// Pool index of op @p op_id's weight entry, -1 when absent.
+    int resident_find(int op_id) const;
     /// The next weight entry the policy would evict (unpinned, lowest
-    /// seq/worth); end() when everything is pinned.
-    std::map<int, ResidentEntry>::iterator pick_victim();
-    /// Drops @p victim from the resident set and the occupancy.
-    void evict(std::map<int, ResidentEntry>::iterator victim);
+    /// seq/worth); -1 when everything is pinned.
+    int pick_victim();
+    /// Drops the entry at @p idx from the resident set and the
+    /// occupancy.
+    void evict(int idx);
     /// KV analogue of entry_score: machine-total bytes saved per
     /// resident byte, scaled by reuse.
     double kv_score(const KvSegment& seg) const;
+    /// Pool index of segment @p id, -1 when unowned.
+    int kv_find(int64_t id) const;
     /// The resident, unpinned KV segment the policy would spill next
-    /// (kv_.end() when none), optionally excluding @p excluded_id.
-    std::map<int64_t, KvSegment>::iterator kv_pick_victim(
-        int64_t excluded_id = -1);
-    /// Spills @p victim to HBM: bytes leave SRAM, the segment stays
-    /// owned (resident = false).
-    void kv_spill(std::map<int64_t, KvSegment>::iterator victim);
+    /// (-1 when none), optionally excluding @p excluded_id.
+    int kv_pick_victim(int64_t excluded_id = -1);
+    /// Spills the segment at @p idx to HBM: bytes leave SRAM, the
+    /// segment stays owned (resident = false).
+    void kv_spill(int idx);
+    /// Debug-build audit of the flat pools: sortedness and the
+    /// running byte counters (resident_bytes_, kv_resident_bytes_)
+    /// against full rescans. Compiled out under NDEBUG.
+    void check_pool_invariants() const;
+    /// Rebuilds f_ for the next program, salvaging the previous
+    /// frame's heap blocks (flow table, per-op vectors).
+    void reset_frame();
     /// Spills unpinned KV in policy order until @p need extra bytes
     /// fit the KV budget; false when pinned segments are in the way
     /// (or @p need alone exceeds the budget). @p excluded_id is never
@@ -460,19 +471,40 @@ class EngineState {
     const Machine& machine_;
     Options opts_;
 
+    /// Flat-pool slot of the weights class: the pools are sorted
+    /// vectors (ascending key), not node-based maps — pool scans
+    /// (victim picks, stale eviction, pressure relief) run on every
+    /// engine step and iterate contiguous memory, and lookups are a
+    /// binary search over a handful of cache lines. Ascending order
+    /// matches the old std::map iteration exactly, so every policy
+    /// scan visits candidates in the same order (bit-identity).
+    struct ResidentSlot {
+        int op_id;
+        ResidentEntry entry;
+    };
+    /// Flat-pool slot of the KV class (sorted by request id).
+    struct KvSlot {
+        int64_t id;
+        KvSegment seg;
+    };
+
     // --- cross-program state ---
     double clock_base_ = 0.0;  ///< global seconds before this program.
-    std::map<int, ResidentEntry> resident_;  ///< by op id.
+    std::vector<ResidentSlot> resident_;  ///< sorted by op id.
     uint64_t resident_bytes_ = 0;
     uint64_t resident_seq_ = 0;
     int64_t resident_hits_ = 0;
     int64_t resident_evictions_ = 0;
-    std::map<int64_t, KvSegment> kv_;  ///< by request id.
+    std::vector<KvSlot> kv_;  ///< sorted by request id.
     uint64_t kv_resident_bytes_ = 0;
     uint64_t kv_bytes_peak_ = 0;
     int64_t kv_evictions_ = 0;
     double occupancy_ = 0.0;  ///< per-core bytes (incl. residents
                               ///< and resident KV segments).
+    /// begin()'s stale-eviction scratch: (op_id, exec index) of the
+    /// incoming program, sorted — reused so begin() stops allocating
+    /// a lookup structure per iteration.
+    std::vector<std::pair<int, int>> begin_scratch_;
 
     // --- the loaded program (reset by begin, swapped by park/resume)
     Frame f_;

@@ -45,7 +45,7 @@ Machine::fabric_resource_for_preload() const
     return ideal_split_ ? kFabricPreloadSplit : Resources::kFabric;
 }
 
-std::map<int, double>
+FlowWeights
 Machine::preload_weights(double unique_bytes, double delivery_bytes) const
 {
     util::check(unique_bytes > 0, "preload flow without DRAM bytes");
@@ -56,7 +56,7 @@ Machine::preload_weights(double unique_bytes, double delivery_bytes) const
     };
 }
 
-std::map<int, double>
+FlowWeights
 Machine::peer_weights() const
 {
     return {{fabric_resource_for_peer(), 1.0 / peer_capacity_}};

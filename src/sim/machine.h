@@ -38,11 +38,11 @@ class Machine {
      * read from DRAM and @p delivery_bytes delivered over the fabric
      * (delivery >= unique when broadcast replication duplicates data).
      */
-    std::map<int, double> preload_weights(double unique_bytes,
-                                          double delivery_bytes) const;
+    FlowWeights preload_weights(double unique_bytes,
+                                double delivery_bytes) const;
 
     /// Weights of an inter-core (peer exchange) flow.
-    std::map<int, double> peer_weights() const;
+    FlowWeights peer_weights() const;
 
     /// System-aggregate peer-exchange capacity (bytes/s).
     double peer_capacity() const { return peer_capacity_; }

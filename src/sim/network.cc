@@ -12,6 +12,41 @@ namespace {
 constexpr double kEpsilonBytes = 1e-6;
 }
 
+void
+FlowWeights::set(int resource, double weight)
+{
+    util::check(resource >= 0 && resource < kMaxResources,
+                "FlowWeights: bad resource index");
+    util::check(weight > 0, "FlowWeights: non-positive weight");
+    util::check(w_[resource] == 0.0, "FlowWeights: duplicate resource");
+    w_[resource] = weight;
+}
+
+FlowWeights::FlowWeights(std::initializer_list<std::pair<int, double>> init)
+{
+    for (const auto& [res, w] : init) {
+        set(res, w);
+    }
+}
+
+FlowWeights::FlowWeights(const std::map<int, double>& weights)
+{
+    for (const auto& [res, w] : weights) {
+        set(res, w);
+    }
+}
+
+int
+FlowWeights::max_resource() const
+{
+    for (int res = kMaxResources - 1; res >= 0; --res) {
+        if (w_[res] != 0.0) {
+            return res;
+        }
+    }
+    return -1;
+}
+
 FluidNetwork::FluidNetwork(std::vector<double> capacities)
     : capacities_(std::move(capacities))
 {
@@ -21,22 +56,21 @@ FluidNetwork::FluidNetwork(std::vector<double> capacities)
 }
 
 FlowId
-FluidNetwork::add_flow(double bytes, std::map<int, double> weights,
-                       FlowTag tag)
+FluidNetwork::add_flow(double bytes, FlowWeights weights, FlowTag tag)
 {
     util::check(bytes > 0, "FluidNetwork: flow with no bytes");
+    util::check(weights.max_resource() <
+                    static_cast<int>(capacities_.size()),
+                "FluidNetwork: bad resource index");
     Flow f;
     f.remaining = bytes;
-    f.weights = std::move(weights);
+    f.weights = weights;
     f.tag = tag;
-    for (const auto& [res, w] : f.weights) {
-        util::check(res >= 0 && res < static_cast<int>(capacities_.size()),
-                    "FluidNetwork: bad resource index");
-        util::check(w > 0, "FluidNetwork: non-positive weight");
-    }
-    flows_.push_back(std::move(f));
+    flows_.push_back(f);
+    const FlowId id = static_cast<FlowId>(flows_.size() - 1);
+    active_ids_.push_back(id);
     assign_rates();
-    return static_cast<FlowId>(flows_.size() - 1);
+    return id;
 }
 
 bool
@@ -52,33 +86,42 @@ FluidNetwork::flow_rate(FlowId id) const
 }
 
 void
+FluidNetwork::reset_flows()
+{
+    flows_.clear();
+    active_ids_.clear();
+}
+
+void
 FluidNetwork::assign_rates()
 {
     // Progressive filling: all unfixed flows share a common rate that
     // grows until some resource saturates; flows traversing a
     // saturated resource freeze at the current rate.
-    std::vector<int> unfixed;
-    for (size_t i = 0; i < flows_.size(); ++i) {
-        if (flows_[i].active) {
-            flows_[i].rate = 0.0;
-            unfixed.push_back(static_cast<int>(i));
-        }
+    //
+    // Weight entries are scanned densely in ascending resource order —
+    // the same order the associative form iterated — and zero entries
+    // are skipped everywhere a key would have been absent, so every
+    // floating-point accumulation below sums the same terms in the
+    // same order as the pre-dense implementation (bit-identity).
+    const int n_res = static_cast<int>(capacities_.size());
+    unfixed_.clear();
+    for (FlowId i : active_ids_) {
+        flows_[i].rate = 0.0;
+        unfixed_.push_back(i);
     }
-    std::vector<double> left = capacities_;
+    left_ = capacities_;
 
-    while (!unfixed.empty()) {
+    while (!unfixed_.empty()) {
         // Headroom per resource given the unfixed flows' weights.
         double delta = std::numeric_limits<double>::infinity();
-        for (size_t res = 0; res < capacities_.size(); ++res) {
+        for (int res = 0; res < n_res; ++res) {
             double weight_sum = 0.0;
-            for (int i : unfixed) {
-                auto it = flows_[i].weights.find(static_cast<int>(res));
-                if (it != flows_[i].weights.end()) {
-                    weight_sum += it->second;
-                }
+            for (int i : unfixed_) {
+                weight_sum += flows_[i].weights[res];
             }
             if (weight_sum > 0) {
-                delta = std::min(delta, left[res] / weight_sum);
+                delta = std::min(delta, left_[res] / weight_sum);
             }
         }
         if (!std::isfinite(delta)) {
@@ -86,31 +129,35 @@ FluidNetwork::assign_rates()
         }
 
         // Grow everyone, charge resources.
-        for (int i : unfixed) {
+        for (int i : unfixed_) {
             flows_[i].rate += delta;
-            for (const auto& [res, w] : flows_[i].weights) {
-                left[res] -= delta * w;
+            for (int res = 0; res < n_res; ++res) {
+                double w = flows_[i].weights[res];
+                if (w != 0.0) {
+                    left_[res] -= delta * w;
+                }
             }
         }
 
         // Freeze flows on (numerically) saturated resources.
-        std::vector<int> next;
-        for (int i : unfixed) {
+        next_unfixed_.clear();
+        for (int i : unfixed_) {
             bool saturated = false;
-            for (const auto& [res, w] : flows_[i].weights) {
-                if (left[res] <= 1e-9 * capacities_[res]) {
+            for (int res = 0; res < n_res; ++res) {
+                if (flows_[i].weights[res] != 0.0 &&
+                    left_[res] <= 1e-9 * capacities_[res]) {
                     saturated = true;
                     break;
                 }
             }
             if (!saturated) {
-                next.push_back(i);
+                next_unfixed_.push_back(i);
             }
         }
-        if (next.size() == unfixed.size()) {
+        if (next_unfixed_.size() == unfixed_.size()) {
             break;  // no progress possible (shouldn't happen)
         }
-        unfixed = std::move(next);
+        std::swap(unfixed_, next_unfixed_);
     }
 }
 
@@ -118,8 +165,9 @@ double
 FluidNetwork::time_to_next_completion() const
 {
     double best = std::numeric_limits<double>::infinity();
-    for (const auto& f : flows_) {
-        if (f.active && f.rate > 0) {
+    for (FlowId i : active_ids_) {
+        const Flow& f = flows_[i];
+        if (f.rate > 0) {
             best = std::min(best, f.remaining / f.rate);
         }
     }
@@ -129,19 +177,21 @@ FluidNetwork::time_to_next_completion() const
 void
 FluidNetwork::advance(double dt)
 {
-    bool changed = false;
-    for (auto& f : flows_) {
-        if (!f.active) {
-            continue;
-        }
+    // In-place compaction of active_ids_: survivors keep their
+    // ascending order, completed flows drop out of every later scan.
+    size_t out = 0;
+    for (FlowId i : active_ids_) {
+        Flow& f = flows_[i];
         f.remaining -= f.rate * dt;
         if (f.remaining <= kEpsilonBytes) {
             f.remaining = 0.0;
             f.active = false;
-            changed = true;
+        } else {
+            active_ids_[out++] = i;
         }
     }
-    if (changed) {
+    if (out != active_ids_.size()) {
+        active_ids_.resize(out);
         assign_rates();
     }
 }
@@ -150,13 +200,14 @@ double
 FluidNetwork::resource_usage(int resource, FlowTag tag) const
 {
     double usage = 0.0;
-    for (const auto& f : flows_) {
-        if (!f.active || f.tag != tag) {
+    for (FlowId i : active_ids_) {
+        const Flow& f = flows_[i];
+        if (f.tag != tag) {
             continue;
         }
-        auto it = f.weights.find(resource);
-        if (it != f.weights.end()) {
-            usage += f.rate * it->second;
+        double w = f.weights[resource];
+        if (w != 0.0) {
+            usage += f.rate * w;
         }
     }
     return usage;
@@ -166,13 +217,11 @@ double
 FluidNetwork::resource_usage(int resource) const
 {
     double usage = 0.0;
-    for (const auto& f : flows_) {
-        if (!f.active) {
-            continue;
-        }
-        auto it = f.weights.find(resource);
-        if (it != f.weights.end()) {
-            usage += f.rate * it->second;
+    for (FlowId i : active_ids_) {
+        const Flow& f = flows_[i];
+        double w = f.weights[resource];
+        if (w != 0.0) {
+            usage += f.rate * w;
         }
     }
     return usage;
@@ -181,11 +230,7 @@ FluidNetwork::resource_usage(int resource) const
 int
 FluidNetwork::num_active() const
 {
-    int n = 0;
-    for (const auto& f : flows_) {
-        n += f.active ? 1 : 0;
-    }
-    return n;
+    return static_cast<int>(active_ids_.size());
 }
 
 }  // namespace elk::sim

@@ -17,12 +17,28 @@
  * flows freeze; repeat. When preload delivery and inter-core exchange
  * are simultaneously active on the fabric, both slow down — the
  * interconnect-contention behaviour of paper Fig. 2 (tussle 2).
+ *
+ * assign_rates() runs on every flow arrival and completion — it is
+ * the single hottest loop of the whole simulator — so the network is
+ * built around two representation choices. First, a flow's weights
+ * are a small dense array (FlowWeights) indexed by resource, not an
+ * associative container: a zero entry means "does not use the
+ * resource", and every present weight is validated positive at
+ * construction, which keeps the dense scan's skip-zero behaviour
+ * exactly equivalent to the absent-key semantics the progressive
+ * filling relies on (a flow only freezes on resources it uses).
+ * Second, completed flows never get scanned again: an ascending list
+ * of active flow ids drives every per-event loop, so the cost of an
+ * event is O(active flows) rather than O(flows ever added) — the
+ * table itself only grows so that FlowIds stay stable for callers.
  */
 #ifndef ELK_SIM_NETWORK_H
 #define ELK_SIM_NETWORK_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace elk::sim {
@@ -44,11 +60,50 @@ struct Resources {
     static constexpr int kCount = 2;
 };
 
+/**
+ * Dense per-resource weights of one flow. Index = resource, value =
+ * capacity consumed per byte/s of flow rate; zero = the flow does not
+ * use the resource (the old map's absent key). Sized for every
+ * machine layout (two resources, plus the Ideal split fabric's
+ * third); constructing an entry at or above kMaxResources, a
+ * non-positive entry, or a duplicate entry panics.
+ */
+class FlowWeights {
+  public:
+    /// Upper bound on resource indices across all machine layouts.
+    static constexpr int kMaxResources = 4;
+
+    FlowWeights() = default;
+
+    /// From explicit (resource, weight) pairs:
+    /// `{{Resources::kHbmDram, 1.0}, {fabric, rho}}`.
+    FlowWeights(std::initializer_list<std::pair<int, double>> init);
+
+    /// From the associative form (implicit: pre-dense call sites and
+    /// tests pass std::map).
+    FlowWeights(const std::map<int, double>& weights);
+
+    /// Weight on @p resource; 0 when the flow does not use it.
+    double
+    operator[](int resource) const
+    {
+        return w_[resource];
+    }
+
+    /// Highest resource index with a non-zero weight; -1 when empty.
+    int max_resource() const;
+
+  private:
+    void set(int resource, double weight);
+
+    double w_[kMaxResources] = {0.0, 0.0, 0.0, 0.0};
+};
+
 /// One active flow.
 struct Flow {
     double remaining = 0.0;  ///< bytes left.
     double rate = 0.0;       ///< current bytes/s (assigned).
-    std::map<int, double> weights;  ///< resource -> usage per byte/s.
+    FlowWeights weights;     ///< resource -> usage per byte/s.
     FlowTag tag = FlowTag::kHbmPreload;
     bool active = true;
 };
@@ -63,8 +118,7 @@ class FluidNetwork {
     explicit FluidNetwork(std::vector<double> capacities);
 
     /// Adds a flow of @p bytes with resource @p weights; returns its id.
-    FlowId add_flow(double bytes, std::map<int, double> weights,
-                    FlowTag tag);
+    FlowId add_flow(double bytes, FlowWeights weights, FlowTag tag);
 
     /// True while the flow has bytes remaining.
     bool flow_active(FlowId id) const;
@@ -93,12 +147,28 @@ class FluidNetwork {
     /// Number of currently active flows.
     int num_active() const;
 
+    /// Drops every flow (ids restart at 0) but keeps the capacities
+    /// and the table's allocations — how one network object serves
+    /// back-to-back programs without reallocating per program.
+    void reset_flows();
+
   private:
     /// Recomputes all rates by progressive filling.
     void assign_rates();
 
     std::vector<double> capacities_;
     std::vector<Flow> flows_;
+    // Ids of the active flows, ascending. Completed flows stay in
+    // flows_ (ids are indices) but drop out of this list, so every
+    // per-event scan costs O(active) instead of O(all flows ever
+    // added). Ascending order keeps each floating-point accumulation
+    // summing the same terms in the same order as a full-table scan.
+    std::vector<FlowId> active_ids_;
+    // assign_rates() scratch, kept across calls so the hot loop never
+    // allocates once the high-water mark is reached.
+    std::vector<int> unfixed_;
+    std::vector<int> next_unfixed_;
+    std::vector<double> left_;
 };
 
 }  // namespace elk::sim

@@ -37,10 +37,16 @@ stdev(const std::vector<double>& xs)
 double
 percentile(std::vector<double> xs, double p)
 {
+    std::sort(xs.begin(), xs.end());
+    return percentile_sorted(xs, p);
+}
+
+double
+percentile_sorted(const std::vector<double>& xs, double p)
+{
     if (xs.empty()) {
         return 0.0;
     }
-    std::sort(xs.begin(), xs.end());
     double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
     size_t lo = static_cast<size_t>(rank);
     size_t hi = std::min(lo + 1, xs.size() - 1);

@@ -21,6 +21,14 @@ double stdev(const std::vector<double>& xs);
 double percentile(std::vector<double> xs, double p);
 
 /**
+ * percentile() without the copy-and-sort: @p xs must already be
+ * ascending. Callers that read several percentiles off one sample set
+ * sort the snapshot once and query this repeatedly — same
+ * interpolation, bit-identical results.
+ */
+double percentile_sorted(const std::vector<double>& xs, double p);
+
+/**
  * Mean absolute percentage error of predictions vs. measurements.
  * Entries with measured == 0 are skipped.
  */

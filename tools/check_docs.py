@@ -16,7 +16,7 @@ Four classes of rot this catches:
  3. Command-line flags the user docs name (`--kv-budget`, `--jobs`,
     ...) that no driver actually parses: every `--flag` token in
     README.md, ROADMAP.md, and docs/*.md must appear as a string
-    literal in tools/*.cc or bench/*.{cc,h}, except for a small
+    literal in tools/*.{cc,py} or bench/*.{cc,h}, except for a small
     allowlist of external tools' flags (ctest, cmake,
     google-benchmark). This is what stops the docs from drifting when
     a driver renames a flag.
@@ -68,7 +68,7 @@ def markdown_files():
         dirs[:] = [
             d
             for d in dirs
-            if not d.startswith(".") and d not in ("build", "build-asan")
+            if not d.startswith(".") and not d.startswith("build")
         ]
         for name in files:
             if name.endswith(".md"):
@@ -93,7 +93,7 @@ def known_flags():
     """Every --flag string literal a driver parses."""
     flags = set()
     sources = []
-    for sub, exts in (("tools", (".cc",)), ("bench", (".cc", ".h"))):
+    for sub, exts in (("tools", (".cc", ".py")), ("bench", (".cc", ".h"))):
         directory = os.path.join(REPO, sub)
         if not os.path.isdir(directory):
             continue
@@ -121,7 +121,7 @@ def check_flags(md_path, flags, errors):
             continue
         errors.append(
             f"{rel}: names flag '{flag}' but no driver "
-            "(tools/*.cc, bench/*.{cc,h}) parses it"
+            "(tools/*.{cc,py}, bench/*.{cc,h}) parses it"
         )
 
 

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Reader/validator for bench_perf's BENCH_perf.json (stdlib only).
+
+The perf harness (bench/bench_perf.cc) emits one JSON document per
+run: schema "elk-bench-perf/1", run configuration (jobs/warmup/repeat/
+fast), and one cell per (phase, name) with the work count, per-repeat
+wall seconds, the headline rate (work / min wall), and the FNV-1a
+digest of the simulated result. This script is the CI side of that
+contract:
+
+    tools/perf_report.py BENCH_perf.json
+        print the cells as a table (rate, min wall, digest);
+    tools/perf_report.py --check BENCH_perf.json
+        validate the schema and invariants, exit 1 on any violation
+        (the CI perf job's malformed-output gate);
+    tools/perf_report.py --digests BENCH_perf.json
+        print "phase name digest" lines in cell order — diffing this
+        between --jobs 1 and --jobs N runs (or between two commits)
+        proves the simulated results are bit-identical;
+    tools/perf_report.py --baseline OLD.json NEW.json
+        print the per-cell rate ratio NEW/OLD (the trajectory view),
+        failing if any cell's digest changed.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "elk-bench-perf/1"
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check(doc):
+    """Returns a list of schema/invariant violations (empty = ok)."""
+    errors = []
+
+    def need(cond, msg):
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    if not need(isinstance(doc, dict), "top level is not an object"):
+        return errors
+    need(doc.get("schema") == SCHEMA,
+         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    need(isinstance(doc.get("fast"), bool), "fast is not a bool")
+    need(isinstance(doc.get("jobs"), int) and doc.get("jobs", -1) >= 0,
+         "jobs is not a non-negative int")
+    warmup = doc.get("warmup")
+    repeat = doc.get("repeat")
+    need(isinstance(warmup, int) and warmup >= 0,
+         "warmup is not a non-negative int")
+    need(isinstance(repeat, int) and repeat >= 1,
+         "repeat is not a positive int")
+    cells = doc.get("cells")
+    if not need(isinstance(cells, list) and cells, "cells is empty"):
+        return errors
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not need(isinstance(cell, dict), f"{where} is not an object"):
+            continue
+        for key in ("phase", "name", "unit", "digest"):
+            need(isinstance(cell.get(key), str) and cell.get(key),
+                 f"{where}.{key} is not a non-empty string")
+        digest = cell.get("digest", "")
+        need(len(digest) == 16
+             and all(c in "0123456789abcdef" for c in digest),
+             f"{where}.digest is not 16 lowercase hex digits")
+        ident = (cell.get("phase"), cell.get("name"))
+        need(ident not in seen, f"{where} duplicates cell {ident}")
+        seen.add(ident)
+        work = cell.get("work")
+        need(isinstance(work, (int, float)) and work > 0,
+             f"{where}.work is not positive")
+        wall = cell.get("wall_s")
+        if need(isinstance(wall, list), f"{where}.wall_s is not a list"):
+            need(len(wall) == repeat,
+                 f"{where}.wall_s has {len(wall)} entries, "
+                 f"expected repeat={repeat}")
+            need(all(isinstance(w, (int, float)) and w > 0
+                     for w in wall),
+                 f"{where}.wall_s entries must be positive numbers")
+            if wall and all(isinstance(w, (int, float)) for w in wall):
+                need(abs(cell.get("wall_min_s", -1) - min(wall))
+                     <= 1e-12 * max(min(wall), 1.0),
+                     f"{where}.wall_min_s does not match min(wall_s)")
+        rate = cell.get("rate")
+        need(isinstance(rate, (int, float)) and rate > 0,
+             f"{where}.rate is not positive")
+    return errors
+
+
+def print_table(doc):
+    rows = [("phase", "cell", "rate", "unit", "wall_min(s)", "digest")]
+    for cell in doc["cells"]:
+        rows.append((cell["phase"], cell["name"],
+                     f"{cell['rate']:.4g}", cell["unit"],
+                     f"{cell['wall_min_s']:.6f}", cell["digest"]))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+
+
+def print_digests(doc):
+    for cell in doc["cells"]:
+        print(f"{cell['phase']} {cell['name']} {cell['digest']}")
+
+
+def compare(old_doc, new_doc):
+    """Prints NEW/OLD rate ratios; returns violations (digest drift,
+    cells present in one run only)."""
+    errors = []
+    old = {(c["phase"], c["name"]): c for c in old_doc["cells"]}
+    new = {(c["phase"], c["name"]): c for c in new_doc["cells"]}
+    for ident in old.keys() - new.keys():
+        errors.append(f"cell {ident} present only in the baseline")
+    for ident in new.keys() - old.keys():
+        errors.append(f"cell {ident} present only in the new run")
+    print(f"{'phase':<14}{'cell':<16}{'old rate':>12}{'new rate':>12}"
+          f"{'speedup':>9}")
+    for cell in new_doc["cells"]:
+        ident = (cell["phase"], cell["name"])
+        if ident not in old:
+            continue
+        o = old[ident]
+        if o["digest"] != cell["digest"]:
+            errors.append(
+                f"cell {ident} digest changed "
+                f"{o['digest']} -> {cell['digest']} — the simulated "
+                "result drifted, the rate comparison is meaningless")
+        ratio = cell["rate"] / o["rate"] if o["rate"] > 0 else 0.0
+        print(f"{cell['phase']:<14}{cell['name']:<16}"
+              f"{o['rate']:>12.4g}{cell['rate']:>12.4g}"
+              f"{ratio:>8.2f}x")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="read/validate BENCH_perf.json")
+    parser.add_argument("files", nargs="+",
+                        help="BENCH_perf.json path(s)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate schema and invariants")
+    parser.add_argument("--digests", action="store_true",
+                        help="print 'phase name digest' lines")
+    parser.add_argument("--baseline", action="store_true",
+                        help="compare two runs: OLD.json NEW.json")
+    args = parser.parse_args()
+
+    if args.baseline:
+        if len(args.files) != 2:
+            parser.error("--baseline takes exactly OLD.json NEW.json")
+        docs = []
+        for path in args.files:
+            doc = load(path)
+            errors = check(doc)
+            for err in errors:
+                print(f"error: {path}: {err}", file=sys.stderr)
+            if errors:
+                return 1
+            docs.append(doc)
+        errors = compare(docs[0], docs[1])
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1 if errors else 0
+
+    status = 0
+    for path in args.files:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        errors = check(doc)
+        for err in errors:
+            print(f"error: {path}: {err}", file=sys.stderr)
+        if errors:
+            status = 1
+            continue
+        if args.digests:
+            print_digests(doc)
+        elif args.check:
+            print(f"{path}: ok ({len(doc['cells'])} cells, "
+                  f"repeat {doc['repeat']}, jobs {doc['jobs']})")
+        else:
+            print_table(doc)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
