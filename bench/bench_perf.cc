@@ -15,6 +15,10 @@
  *   serve_kv     — the same trace under a 1/8-SRAM per-core KV budget
  *                  (spills, refetch stalls, deferred admissions: the
  *                  KV-residency bookkeeping on its hottest path);
+ *   serve_prefix — a conversational session trace (multi-turn, Zipf-
+ *                  shared prefixes, bursty arrivals) with prefix-cache
+ *                  KV sharing on under the same budget (refcounted
+ *                  shared segments, longest-match, copy-on-extend);
  *
  * and one micro phase isolates the engine sections those serves are
  * built from:
@@ -285,6 +289,25 @@ main(int argc, char** argv)
         runtime::tag_prompt_lengths(trace, seq, prompt_mean, seed);
         return trace;
     };
+    // The conversational trace the prefix phase serves: multi-turn
+    // sessions with think-time, 8 Zipf-shared prefixes, bursty
+    // arrivals (same construction as bench_serving phase 6, at a
+    // fixed session rate).
+    auto session_trace = [&](uint64_t seed) {
+        runtime::SessionTraceOptions st;
+        st.sessions = requests / 2;
+        st.rate_per_s = 200.0;
+        st.burst_factor = 2.0;
+        st.mean_turns = 3.0;
+        st.think_time_s = 0.02;
+        st.decode_tokens = tokens;
+        st.max_prompt_len = seq;
+        st.prompt_mean_len = prompt_mean;
+        st.prefix_population = 8;
+        st.prefix_zipf_s = 1.0;
+        st.prefix_mean_len = prompt_mean;
+        return runtime::make_session_trace(st, seed);
+    };
 
     std::vector<PerfCell> cells;
 
@@ -293,12 +316,14 @@ main(int argc, char** argv)
         const char* phase;
         uint64_t kv_budget;  ///< 0 = varlen (no KV modeling).
         bool closed_decode;  ///< serve_modes: plain closed-loop loop.
+        bool prefix;         ///< serve_prefix: session trace, sharing.
     };
     const uint64_t kv_budget = chip.usable_sram_per_core() / 8;
     const std::vector<ServeSpec> specs = {
-        {"serve_modes", 0, true},
-        {"serve_varlen", 0, false},
-        {"serve_kv", kv_budget, false},
+        {"serve_modes", 0, true, false},
+        {"serve_varlen", 0, false, false},
+        {"serve_kv", kv_budget, false, false},
+        {"serve_prefix", kv_budget, false, true},
     };
     struct ServeCellRef {
         int spec;
@@ -337,9 +362,14 @@ main(int argc, char** argv)
                         opts.kv_bytes_per_token =
                             graph::kv_bytes_per_token(model);
                     }
+                    opts.prefix_sharing = spec.prefix;
+                    auto trace = spec.prefix
+                                     ? session_trace(/*seed=*/23)
+                                     : skewed_trace(/*seed=*/19);
+                    cell.work = static_cast<double>(trace.size());
                     runtime::Server server(decodes[m]->machine(), opts);
                     rep = server.serve(
-                        skewed_trace(/*seed=*/19),
+                        trace,
                         [&](int b, int len) {
                             return prefills[m]->program(b, len);
                         },

@@ -31,6 +31,12 @@
  * to HBM, refetch stalls and deferred prompt admissions appear, and
  * the TTFT / goodput cliff of KV thrash becomes visible per design.
  *
+ * A sixth phase serves a conversational session trace (multi-turn
+ * sessions, Zipf-shared prompt prefixes, bursty arrivals) with
+ * prefix-cache KV sharing off vs on across a cache-budget sweep: on
+ * the same trace, sharing turns repeated prefill into KV residency
+ * hits — hit-rate up, mean TTFT and prefill tokens down.
+ *
  * Replica cells of every grid are independent: they fan out over
  * util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into per-cell slots
  * and are printed by a serial scan, so stdout and the CSV are
@@ -373,5 +379,98 @@ main(int argc, char** argv)
              std::to_string(static_cast<int>(prompt_mean)) +
              " tok prompts, per-core KV budget sweep)");
     kv.write_csv("serving_kv");
+
+    // Phase 6: prefix-cache KV sharing — a conversational session
+    // trace per design (multi-turn sessions with think-time, Zipf-
+    // shared prefixes, bursty arrivals) served with prefix sharing
+    // off vs on across a cache-budget sweep. The off cell strips the
+    // prefix tags from the *same* trace — identical arrivals and
+    // prompt lengths, no sharing — so the hit/saved columns and the
+    // TTFT drop isolate what caching the shared prefixes' KV buys,
+    // and the shrinking budgets show the win eroding as eviction
+    // prices shared refetches.
+    struct PrefixPoint {
+        const char* label;
+        bool sharing;
+        uint64_t budget;
+    };
+    const std::vector<PrefixPoint> px_points = {
+        {"off", false, usable / 2},
+        {"on 1/2 sram", true, usable / 2},
+        {"on 1/8 sram", true, usable / 8},
+        {"on 1/32 sram", true, usable / 32},
+    };
+    struct PrefixCell {
+        int mode;
+        int point;
+        runtime::ServingReport rep;
+    };
+    std::vector<PrefixCell> pcells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (size_t p = 0; p < px_points.size(); ++p) {
+            pcells.push_back(
+                {static_cast<int>(m), static_cast<int>(p), {}});
+        }
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(pcells.size()), [&](int c) {
+            int m = pcells[c].mode;
+            const PrefixPoint& pt = px_points[pcells[c].point];
+            runtime::SessionTraceOptions st;
+            st.sessions = requests / 2;
+            // ~3 turns/session: a session rate of 0.2x capacity puts
+            // the turn arrival rate near the other phases' 0.6x.
+            st.rate_per_s = 0.2 * closed[m].tokens_per_s / tokens;
+            st.burst_factor = 2.0;
+            st.mean_turns = 3.0;
+            st.think_time_s = 0.02;
+            st.decode_tokens = tokens;
+            st.max_prompt_len = seq;
+            st.prompt_mean_len = prompt_mean;
+            st.prefix_population = 8;
+            st.prefix_zipf_s = 1.0;
+            st.prefix_mean_len = prompt_mean;
+            auto trace = runtime::make_session_trace(st, /*seed=*/23);
+            if (!pt.sharing) {
+                for (auto& r : trace) {
+                    r.prefix_id = -1;
+                    r.prefix_len = 0;
+                }
+            }
+            runtime::ServerOptions popts = sopts;
+            popts.max_prefill_batch = prefill_batch;
+            popts.max_prompt_len = seq;
+            popts.prompt_buckets = varlen_buckets;
+            popts.kv_budget = pt.budget;
+            popts.kv_bytes_per_token =
+                graph::kv_bytes_per_token(model);
+            popts.prefix_sharing = pt.sharing;
+            runtime::Server server(compilers[m]->machine(), popts);
+            pcells[c].rep = server.serve(
+                trace,
+                [&](int b, int len) {
+                    return prefills[m]->program(b, len);
+                },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    util::Table prefix({"design", "prefix cache", "hits", "hit_tok",
+                        "saved_tok", "ttft mean(ms)", "tokens/s",
+                        "shared peak(KB)", "refetch", "digest"});
+    for (const PrefixCell& cell : pcells) {
+        prefix.add(compilers[cell.mode]->mode(),
+                   px_points[cell.point].label, cell.rep.prefix_hits,
+                   cell.rep.prefix_hit_tokens,
+                   cell.rep.prefill_tokens_saved,
+                   runtime::ms(cell.rep.mean_ttft),
+                   cell.rep.tokens_per_s,
+                   cell.rep.shared_kv_bytes / 1024,
+                   cell.rep.kv_refetches, digest(cell.rep));
+    }
+    prefix.print(
+        "prefix-cache KV sharing on a session trace (multi-turn, "
+        "8 Zipf prefixes, bursty; sharing off vs on, cache-budget "
+        "sweep)");
+    prefix.write_csv("serving_prefix");
     return 0;
 }

@@ -12,8 +12,9 @@
  *
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
  *                   [prefill_frac] [high_frac] [prompt_mean] \
- *                   [kv_budget_kb]
+ *                   [kv_budget_kb] [prefix_pop] [turns]
  *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256 2048
+ *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
@@ -26,6 +27,13 @@
  * each design may hold of decode KV state — requests' KV segments
  * then compete with resident weights, spill to HBM past the budget,
  * and backpressure prompt admission (docs/SERVING.md).
+ * prefix_pop / turns (defaults 0 / 1) switch to a conversational
+ * session trace: `requests` sessions of `turns` mean prefill turns,
+ * each session reusing one of prefix_pop Zipf-shared prompt prefixes
+ * whose KV is cached and refcount-shared across requests (prefix
+ * sharing on when prefix_pop > 0). Both require kv_budget_kb > 0 —
+ * shared prefixes live in the modeled KV pool, so asking for them
+ * without KV modeling is a fatal error rather than a silent no-op.
  */
 #include <cstdio>
 #include <string>
@@ -35,6 +43,7 @@
 #include "graph/model_builder.h"
 #include "runtime/metrics.h"
 #include "runtime/server.h"
+#include "util/logging.h"
 #include "util/parse.h"
 #include "util/table.h"
 
@@ -73,24 +82,61 @@ main(int argc, char** argv)
         argc > 10
             ? util::parse_int_arg(argv[10], "kv_budget_kb", 0, 1 << 30)
             : 0;
+    int prefix_pop =
+        argc > 11
+            ? util::parse_int_arg(argv[11], "prefix_pop", 0, 1 << 20)
+            : 0;
+    double turns =
+        argc > 12
+            ? util::parse_double_arg(argv[12], "turns", 1.0, 1e6)
+            : 1.0;
+    const bool session_trace = prefix_pop > 0 || turns > 1.0;
+    if (session_trace && kv_budget_kb == 0) {
+        util::fatal(
+            "prefix_pop/turns need KV modeling: pass kv_budget_kb > 0 "
+            "(shared prefixes and multi-turn KV reuse live in the "
+            "modeled KV pool)");
+    }
 
     hw::ChipConfig chip = hw::ChipConfig::ipu_pod4();
     graph::ModelConfig model = graph::model_by_name(name);
-    std::vector<double> arrivals =
-        rate > 0 ? runtime::ArrivalTrace::poisson(requests, rate,
-                                                  /*seed=*/42)
-                 : runtime::ArrivalTrace::closed_loop(requests);
-    std::vector<runtime::Request> trace = runtime::make_request_trace(
-        arrivals, tokens, prefill_frac, high_frac, /*seed=*/42);
-    if (prompt_mean > 0.0) {
-        runtime::tag_prompt_lengths(trace, seq, prompt_mean,
-                                    /*seed=*/42);
+    std::vector<runtime::Request> trace;
+    if (session_trace) {
+        runtime::SessionTraceOptions st;
+        st.sessions = requests;
+        st.rate_per_s = rate;
+        st.mean_turns = turns;
+        st.decode_tokens = tokens;
+        st.max_prompt_len = seq;
+        st.prompt_mean_len = prompt_mean;
+        st.prefix_population = prefix_pop;
+        st.prefix_mean_len =
+            prefix_pop > 0
+                ? (prompt_mean > 0.0 ? prompt_mean : seq / 8.0)
+                : 0.0;
+        trace = runtime::make_session_trace(st, /*seed=*/42);
+    } else {
+        std::vector<double> arrivals =
+            rate > 0 ? runtime::ArrivalTrace::poisson(requests, rate,
+                                                      /*seed=*/42)
+                     : runtime::ArrivalTrace::closed_loop(requests);
+        trace = runtime::make_request_trace(
+            arrivals, tokens, prefill_frac, high_frac, /*seed=*/42);
+        if (prompt_mean > 0.0) {
+            runtime::tag_prompt_lengths(trace, seq, prompt_mean,
+                                        /*seed=*/42);
+        }
     }
     std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
                 "HBM\n",
                 name.c_str(), batch, seq, chip.total_cores(),
                 chip.hbm_total_bw / 1e12);
-    if (rate > 0) {
+    if (session_trace) {
+        std::printf("%d sessions -> %d turns (mean %g/session), "
+                    "%d shared prefixes",
+                    requests, static_cast<int>(trace.size()), turns,
+                    prefix_pop);
+    } else if (rate > 0) {
         std::printf("%d requests x %d tokens, Poisson @ %g req/s",
                     requests, tokens, rate);
     } else {
@@ -117,7 +163,8 @@ main(int argc, char** argv)
     util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
                        "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
                        "preempts", "padded_tok", "kv_peak(KB)",
-                       "deferred", "preload first(ms)", "steady(ms)"});
+                       "deferred", "pfx_hits", "saved_tok",
+                       "preload first(ms)", "steady(ms)"});
 
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
@@ -135,6 +182,7 @@ main(int argc, char** argv)
         sopts.max_prompt_len = seq;
         sopts.kv_budget = static_cast<uint64_t>(kv_budget_kb) * 1024;
         sopts.kv_bytes_per_token = graph::kv_bytes_per_token(model);
+        sopts.prefix_sharing = prefix_pop > 0;
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
             trace, [&](int b, int len) { return pc.program(b, len); },
@@ -148,6 +196,8 @@ main(int argc, char** argv)
                   rep.padded_prompt_tokens,
                   rep.kv_bytes_peak / 1024,
                   rep.deferred_admissions,
+                  rep.prefix_hits,
+                  rep.prefill_tokens_saved,
                   runtime::ms(rep.first_decode_preload),
                   runtime::ms(rep.steady_decode_preload));
     }

@@ -177,10 +177,48 @@ class DisaggRun {
     /// idle-clock stall before the iteration.
     void kv_prepare(const std::vector<int>& members);
 
+    /// Charges @p stream_tokens tokens of KV streamed from HBM as an
+    /// idle-clock stall before an iteration (no-op for 0). The window
+    /// enters every time-weighted mean: HBM saturated for the
+    /// transfer, fabric quiet.
+    void kv_charge_stream(int64_t stream_tokens);
+
     /// Post-iteration bookkeeping for one member: releases its pin
     /// and either grows the segment by the decoded token or frees it
     /// (@p completed).
     void kv_retire(int r, bool completed);
+
+    // --- prefix cache (all no-ops while prefix_on_ is false, which
+    // --- is what keeps the default bit-identical to the prefix-free
+    // --- scheduler)
+
+    /// Engine pool id of prefix population entry @p pid — negative,
+    /// so the shared class never collides with per-request ids.
+    static int64_t prefix_kv_id(int pid)
+    {
+        return -static_cast<int64_t>(pid) - 1;
+    }
+
+    /// Longest-match lookup: tokens of request @p r's prompt the
+    /// cached prefix covers right now — the shorter of the request's
+    /// own prefix span and the canonical segment the first carrier
+    /// seeded. 0 = miss (or untagged request).
+    int64_t prefix_covered(int r) const
+    {
+        const int pid = requests_[r].prefix_id;
+        if (!prefix_on_ || pid < 0 || prefix_tokens_[pid] == 0) {
+            return 0;
+        }
+        return std::min(static_cast<int64_t>(requests_[r].prefix_len),
+                        prefix_tokens_[pid]);
+    }
+
+    /// KV bytes the head prompt @p r must newly admit: its private
+    /// tail, plus its prefix segment when that is spilled (hit) or
+    /// not yet seeded (miss). The single source of truth for both
+    /// prefill_admissible() and the claim loop, so backpressure and
+    /// claiming can never disagree.
+    uint64_t prompt_kv_need(int r) const;
 
     const sim::Machine& machine_;
     const ServerOptions& opts_;
@@ -219,10 +257,23 @@ class DisaggRun {
     /// KV modeling on (ServerOptions::kv_budget > 0).
     bool kv_on_ = false;
     /// Per request: tokens its KV segment covers (-1 = no segment).
+    /// With prefix sharing this is the *private tail* only — the
+    /// shared prefix's tokens live in the refcounted prefix segment.
     std::vector<int64_t> kv_tokens_;
     /// Per request: this run holds a kv_pin on the segment.
     std::vector<bool> kv_pinned_;
     util::WeightedMean kv_mean_;
+
+    /// Prefix sharing on (ServerOptions::prefix_sharing; implies
+    /// kv_on_ — the Server constructor enforces it).
+    bool prefix_on_ = false;
+    /// Cached prefix population: tokens of the seeded shared segment
+    /// per prefix id, 0 while unseeded.
+    std::vector<int64_t> prefix_tokens_;
+    /// Per request: prefix id it holds a kv_share on (-1 = none).
+    std::vector<int> prefix_share_;
+    /// Per request: this run holds a kv_pin on its shared prefix.
+    std::vector<bool> prefix_pinned_;
 };
 
 void
@@ -295,6 +346,30 @@ DisaggRun::release_scratch(std::vector<int>&& v)
     scratch_pool_.push_back(std::move(v));
 }
 
+uint64_t
+DisaggRun::prompt_kv_need(int r) const
+{
+    const int64_t len = effective_prompt_len(r);
+    const int pid = prefix_on_ ? requests_[r].prefix_id : -1;
+    if (pid < 0) {
+        return kv_per_core(len);
+    }
+    const int64_t covered = prefix_covered(r);
+    if (covered > 0) {
+        // Hit: only the residual tail is new KV; a spilled prefix
+        // additionally has to stream back in.
+        uint64_t bytes = kv_per_core(len - covered);
+        const int64_t pseg = prefix_kv_id(pid);
+        if (!state_.kv_resident(pseg)) {
+            bytes += state_.kv_segment_bytes(pseg);
+        }
+        return bytes;
+    }
+    // Miss: this prompt seeds the prefix segment next to its tail.
+    const int64_t plen = requests_[r].prefix_len;
+    return kv_per_core(len - plen) + kv_per_core(plen);
+}
+
 bool
 DisaggRun::prefill_admissible() const
 {
@@ -302,7 +377,7 @@ DisaggRun::prefill_admissible() const
     if (q.empty()) {
         return true;
     }
-    uint64_t bytes = kv_per_core(effective_prompt_len(q.front()));
+    uint64_t bytes = prompt_kv_need(q.front());
     return state_.kv_would_fit(bytes) || bytes > opts_.kv_budget;
 }
 
@@ -311,6 +386,23 @@ DisaggRun::kv_prepare(const std::vector<int>& members)
 {
     int64_t stream_tokens = 0;
     for (int r : members) {
+        if (prefix_on_ && prefix_share_[r] >= 0) {
+            // The shared prefix is read every iteration. It is
+            // brought back (and pinned) before the private tail, so
+            // the tail's own fetch can never evict it — eviction of a
+            // shared prefix is priced as a refetch here for every
+            // sharer that next consumes it.
+            const int64_t pseg = prefix_kv_id(prefix_share_[r]);
+            if (!state_.kv_resident(pseg)) {
+                stream_tokens += prefix_tokens_[prefix_share_[r]];
+                ++rep_.kv_refetches;
+                state_.kv_fetch(pseg);
+            }
+            if (state_.kv_resident(pseg) && !prefix_pinned_[r]) {
+                state_.kv_pin(pseg);
+                prefix_pinned_[r] = true;
+            }
+        }
         if (kv_tokens_[r] < 0) {
             // Decode-phase arrival: its KV state exists elsewhere
             // (e.g. a prefill tier) and migrates in over HBM.
@@ -330,25 +422,32 @@ DisaggRun::kv_prepare(const std::vector<int>& members)
             kv_pinned_[r] = true;
         }
     }
-    if (stream_tokens > 0) {
-        // One serial HBM transfer before the iteration starts; the
-        // engine is idle, so this is a pure clock advance. The
-        // window still enters every time-weighted mean — HBM is
-        // saturated for the transfer part, the fabric is quiet.
-        const hw::ChipConfig& cfg = machine_.config();
-        double stream =
-            static_cast<double>(stream_tokens) *
-            static_cast<double>(opts_.kv_bytes_per_token) /
-            cfg.hbm_total_bw;
-        double dt = cfg.hbm_access_latency_s + stream;
-        rep_.kv_stall += dt;
-        depth_mean_.add(dt, static_cast<double>(waiting_total()));
-        kv_mean_.add(dt, static_cast<double>(state_.kv_bytes()));
-        hbm_mean_.add(dt, stream / dt);
-        noc_mean_.add(dt, 0.0);
-        state_.run_to(state_.now() + dt);
-        now_ = state_.now();
+    kv_charge_stream(stream_tokens);
+}
+
+void
+DisaggRun::kv_charge_stream(int64_t stream_tokens)
+{
+    if (stream_tokens <= 0) {
+        return;
     }
+    // One serial HBM transfer before the iteration starts; the
+    // engine is idle, so this is a pure clock advance. The
+    // window still enters every time-weighted mean — HBM is
+    // saturated for the transfer part, the fabric is quiet.
+    const hw::ChipConfig& cfg = machine_.config();
+    double stream =
+        static_cast<double>(stream_tokens) *
+        static_cast<double>(opts_.kv_bytes_per_token) /
+        cfg.hbm_total_bw;
+    double dt = cfg.hbm_access_latency_s + stream;
+    rep_.kv_stall += dt;
+    depth_mean_.add(dt, static_cast<double>(waiting_total()));
+    kv_mean_.add(dt, static_cast<double>(state_.kv_bytes()));
+    hbm_mean_.add(dt, stream / dt);
+    noc_mean_.add(dt, 0.0);
+    state_.run_to(state_.now() + dt);
+    now_ = state_.now();
 }
 
 void
@@ -357,6 +456,19 @@ DisaggRun::kv_retire(int r, bool completed)
     if (kv_pinned_[r]) {
         state_.kv_unpin(r);
         kv_pinned_[r] = false;
+    }
+    if (prefix_on_ && prefix_share_[r] >= 0) {
+        const int64_t pseg = prefix_kv_id(prefix_share_[r]);
+        if (prefix_pinned_[r]) {
+            state_.kv_unpin(pseg);
+            prefix_pinned_[r] = false;
+        }
+        if (completed) {
+            // Drop the share; the segment itself stays cached for
+            // future carriers of the prefix (that is the cache).
+            state_.kv_release(pseg);
+            prefix_share_[r] = -1;
+        }
     }
     if (completed) {
         state_.kv_free(r);
@@ -457,6 +569,11 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                                  bool force_admit)
 {
     std::vector<int> members = acquire_scratch();
+    // Parallel to members while prefix_on_: prompt tokens each member
+    // actually brings to this iteration (full length, or the residual
+    // past its cached prefix).
+    std::vector<int> residuals = acquire_scratch();
+    int64_t prefix_stream = 0;  ///< spilled-prefix tokens fetched back.
     if (!kv_on_) {
         claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only,
               members);
@@ -471,6 +588,14 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
         // spilled instead of deferred forever; force_admit pushes the
         // head prompt through the same way when deferring would leave
         // the server with no other work.
+        //
+        // With prefix sharing, a prompt whose prefix id matches a
+        // cached segment is a hit: it shares the segment (refcount),
+        // skips the covered tokens — only the residual reaches this
+        // iteration — and only its private tail is new KV. The first
+        // carrier of a prefix seeds the shared segment next to its
+        // tail; a spilled prefix streams back before the iteration,
+        // priced like any KV refetch.
         bool deferred = false;
         auto take = [&](std::deque<int>& q) {
             while (!q.empty() && !deferred &&
@@ -478,7 +603,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                        opts_.max_prefill_batch) {
                 int r = q.front();
                 const int64_t len = effective_prompt_len(r);
-                const uint64_t bytes = kv_per_core(len);
+                const uint64_t bytes = prompt_kv_need(r);
                 bool oversized = bytes > opts_.kv_budget;
                 if (!state_.kv_would_fit(bytes) && !oversized &&
                     !(force_admit && members.empty())) {
@@ -488,8 +613,44 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                 }
                 q.pop_front();
                 members.push_back(r);
-                kv_tokens_[r] = len;
-                if (state_.kv_alloc(r, bytes)) {
+                int64_t tail = len;
+                if (prefix_on_ && requests_[r].prefix_id >= 0) {
+                    const int pid = requests_[r].prefix_id;
+                    const int64_t pseg = prefix_kv_id(pid);
+                    const int64_t covered = prefix_covered(r);
+                    if (covered > 0) {
+                        ++rep_.prefix_hits;
+                        rep_.prefix_hit_tokens += covered;
+                        tail = len - covered;
+                        if (!state_.kv_resident(pseg)) {
+                            prefix_stream += prefix_tokens_[pid];
+                            ++rep_.kv_refetches;
+                            state_.kv_fetch(pseg);
+                        }
+                    } else {
+                        // Miss: seed the shared segment at the
+                        // request's full prefix span.
+                        const int64_t plen = requests_[r].prefix_len;
+                        prefix_tokens_[pid] = plen;
+                        tail = len - plen;
+                        state_.kv_alloc(pseg, kv_per_core(plen));
+                    }
+                    state_.kv_share(pseg);
+                    prefix_share_[r] = pid;
+                    // Pin the prefix for this iteration before the
+                    // tail allocates, so the tail cannot evict it.
+                    if (state_.kv_resident(pseg)) {
+                        state_.kv_pin(pseg);
+                        prefix_pinned_[r] = true;
+                    }
+                    residuals.push_back(
+                        static_cast<int>(covered > 0 ? len - covered
+                                                     : len));
+                } else if (prefix_on_) {
+                    residuals.push_back(static_cast<int>(len));
+                }
+                kv_tokens_[r] = tail;
+                if (state_.kv_alloc(r, kv_per_core(tail))) {
                     state_.kv_pin(r);
                     kv_pinned_[r] = true;
                 }
@@ -502,19 +663,35 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     }
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
+    kv_charge_stream(prefix_stream);
     int bucket = pick_bucket(opts_.prefill_buckets,
                              static_cast<int>(members.size()));
     // The claimed prompts share one program: the smallest length
-    // bucket covering the longest of them. Everything shorter is
-    // padded up to the bucket — the waste the report tracks.
+    // bucket covering the longest of them — of the tokens actually
+    // ingested, i.e. residual lengths once cached prefixes are
+    // skipped. Everything shorter is padded up to the bucket — the
+    // waste the report tracks.
     int need_len = 1;
+    int need_len_full = 1;
     int64_t actual_tokens = 0;
-    for (int r : members) {
-        const int len = effective_prompt_len(r);
-        need_len = std::max(need_len, len);
-        actual_tokens += len;
+    for (size_t i = 0; i < members.size(); ++i) {
+        const int len = effective_prompt_len(members[i]);
+        const int res =
+            prefix_on_ ? residuals[i] : len;
+        need_len = std::max(need_len, res);
+        need_len_full = std::max(need_len_full, len);
+        actual_tokens += res;
     }
     int len_bucket = pick_bucket(opts_.prompt_buckets, need_len);
+    if (prefix_on_) {
+        // Program-level savings: the length bucket these claims would
+        // have needed at their full prompt lengths, vs the residual
+        // bucket actually compiled.
+        const int full_bucket =
+            pick_bucket(opts_.prompt_buckets, need_len_full);
+        rep_.prefill_tokens_saved += static_cast<int64_t>(bucket) *
+                                     (full_bucket - len_bucket);
+    }
     std::shared_ptr<const sim::SimProgram> program =
         prefill_src_ ? prefill_src_(bucket, len_bucket) : nullptr;
     util::check(program != nullptr,
@@ -550,16 +727,22 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     // Prompt ingested: record TTFT and hand the request to the decode
     // class (high-priority members keep their class). The KV segment
     // (already sized to the prompt) stays for the decode phase; only
-    // the iteration's pin is released.
+    // the iteration's pins are released (the prefix share is held
+    // until the request completes).
     for (int r : members) {
         if (kv_on_ && kv_pinned_[r]) {
             state_.kv_unpin(r);
             kv_pinned_[r] = false;
         }
+        if (prefix_on_ && prefix_pinned_[r]) {
+            state_.kv_unpin(prefix_kv_id(prefix_share_[r]));
+            prefix_pinned_[r] = false;
+        }
         ttfts_.push_back(now_ - requests_[r].arrival);
         (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
             .push_back(r);
     }
+    release_scratch(std::move(residuals));
     release_scratch(std::move(members));
 }
 
@@ -708,6 +891,9 @@ DisaggRun::finalize()
         rep_.mean_kv_bytes = kv_mean_.value();
         rep_.kv_evictions = state_.kv_evictions();
     }
+    if (prefix_on_) {
+        rep_.shared_kv_bytes = state_.kv_shared_bytes_peak();
+    }
 }
 
 ServingReport
@@ -715,12 +901,16 @@ DisaggRun::run()
 {
     const int n = total_requests();
     kv_on_ = opts_.kv_budget > 0;
+    prefix_on_ = opts_.prefix_sharing;
     tokens_left_.resize(n);
     latencies_.assign(n, 0.0);
     ttfts_.reserve(n);
     running_.reserve(opts_.max_batch);
     kv_tokens_.assign(n, -1);
     kv_pinned_.assign(n, false);
+    prefix_share_.assign(n, -1);
+    prefix_pinned_.assign(n, false);
+    int max_prefix = -1;
     for (int i = 0; i < n; ++i) {
         const Request& req = requests_[i];
         util::check(req.arrival >= 0 &&
@@ -739,10 +929,26 @@ DisaggRun::run()
                         "Server: prompt_len must be in "
                         "[0, max_prompt_len]");
         }
+        if (req.prefix_id >= 0) {
+            util::check(prefix_on_,
+                        "Server: prefix-tagged requests need "
+                        "ServerOptions::prefix_sharing");
+            util::check(req.phase == Phase::kPrefill,
+                        "Server: prefix-tagged requests must be "
+                        "prefill-phase");
+            const int len = req.prompt_len > 0 ? req.prompt_len
+                                               : opts_.max_prompt_len;
+            util::check(req.prefix_len >= 1 && req.prefix_len < len,
+                        "Server: prefix_len must be in "
+                        "[1, prompt_len - 1]");
+            max_prefix = std::max(max_prefix, req.prefix_id);
+        }
         tokens_left_[i] = req.decode_tokens;
     }
+    prefix_tokens_.assign(max_prefix + 1, 0);
     rep_.requests = n;
     rep_.kv_modeled = kv_on_;
+    rep_.prefix_sharing = prefix_on_;
 
     while (completed_ < n) {
         admit();
@@ -813,6 +1019,61 @@ ArrivalTrace::poisson(int n, double rate_per_s, uint64_t seed)
         double u =
             static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
         t += -std::log1p(-u) / rate_per_s;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+std::vector<double>
+ArrivalTrace::bursty(int n, double rate_per_s, double burst_factor,
+                     uint64_t seed)
+{
+    util::check(n >= 0, "ArrivalTrace: negative request count");
+    util::check(rate_per_s > 0, "ArrivalTrace: rate must be positive");
+    util::check(burst_factor >= 1.0 && burst_factor < 10.0,
+                "ArrivalTrace: burst factor must be in [1, 10)");
+    // Two-state MMPP: a burst state at burst_factor x the mean rate,
+    // occupied kBurstFrac of the time, and a calm state scaled down so
+    // the long-run rate stays rate_per_s (burst_factor < 1/kBurstFrac
+    // keeps the calm rate positive). Each arrival consumes one unit-
+    // exponential amount of "work" at the current state's rate;
+    // state-holding times draw from their own domain-separated stream
+    // so the gap draws never depend on how often the state switches.
+    constexpr double kBurstFrac = 0.1;
+    const double burst_rate = rate_per_s * burst_factor;
+    const double calm_rate = rate_per_s *
+                             (1.0 - kBurstFrac * burst_factor) /
+                             (1.0 - kBurstFrac);
+    // A burst lasts ~10 arrivals at the burst rate; calm holds fill
+    // the remaining (1 - kBurstFrac) of the time.
+    const double burst_hold = 10.0 / burst_rate;
+    const double calm_hold =
+        burst_hold * (1.0 - kBurstFrac) / kBurstFrac;
+    std::mt19937_64 gap_rng(seed);
+    std::mt19937_64 state_rng(seed ^ 0x6275727374737461ull);  // "burststa"
+    auto draw = [](std::mt19937_64& rng) {
+        return static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+    };
+    bool in_burst = false;
+    double t = 0.0;
+    double t_switch = -std::log1p(-draw(state_rng)) * calm_hold;
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        double work = -std::log1p(-draw(gap_rng));
+        for (;;) {
+            const double rate = in_burst ? burst_rate : calm_rate;
+            const double need = work / rate;
+            if (t + need <= t_switch) {
+                t += need;
+                break;
+            }
+            work -= (t_switch - t) * rate;
+            t = t_switch;
+            in_burst = !in_burst;
+            t_switch = t + -std::log1p(-draw(state_rng)) *
+                               (in_burst ? burst_hold : calm_hold);
+        }
         arrivals.push_back(t);
     }
     return arrivals;
@@ -903,6 +1164,145 @@ tag_prompt_lengths(std::vector<Request>& requests, int max_len,
     }
 }
 
+std::vector<Request>
+make_session_trace(const SessionTraceOptions& o, uint64_t seed)
+{
+    util::check(o.sessions >= 0,
+                "make_session_trace: negative session count");
+    util::check(o.rate_per_s >= 0.0,
+                "make_session_trace: rate must be >= 0");
+    util::check(o.mean_turns >= 1.0,
+                "make_session_trace: mean_turns must be >= 1");
+    util::check(o.think_time_s >= 0.0,
+                "make_session_trace: think_time_s must be >= 0");
+    util::check(o.decode_tokens >= 1,
+                "make_session_trace: decode_tokens must be >= 1");
+    util::check(o.max_prompt_len >= 1,
+                "make_session_trace: max_prompt_len must be >= 1");
+    util::check(o.prompt_mean_len >= 0.0,
+                "make_session_trace: prompt_mean_len must be >= 0");
+    util::check(o.prefix_population >= 0,
+                "make_session_trace: negative prefix population");
+    if (o.prefix_population > 0) {
+        util::check(o.max_prompt_len >= 2,
+                    "make_session_trace: shared prefixes need "
+                    "max_prompt_len >= 2 (one residual token must "
+                    "always reach prefill)");
+        util::check(o.prefix_zipf_s > 0.0,
+                    "make_session_trace: prefix_zipf_s must be > 0");
+        util::check(o.prefix_mean_len > 0.0,
+                    "make_session_trace: prefix_mean_len must be > 0");
+    }
+
+    auto draw = [](std::mt19937_64& rng) {
+        return static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+    };
+
+    // Session start times: closed loop, Poisson, or bursty MMPP. The
+    // arrival seed is domain-separated from every tagging stream
+    // below, mirroring tag_prompt_lengths()'s discipline.
+    const uint64_t arrival_seed = seed ^ 0x73657373696f6e73ull;  // "sessions"
+    std::vector<double> starts;
+    if (o.rate_per_s > 0.0) {
+        starts = o.burst_factor > 1.0
+                     ? ArrivalTrace::bursty(o.sessions, o.rate_per_s,
+                                            o.burst_factor,
+                                            arrival_seed)
+                     : ArrivalTrace::poisson(o.sessions, o.rate_per_s,
+                                             arrival_seed);
+    } else {
+        starts = ArrivalTrace::closed_loop(o.sessions);
+    }
+
+    // Canonical prefix lengths, one geometric draw per population id:
+    // in [1, max_prompt_len - 1], so a prefix can never swallow a
+    // whole prompt. Clamp in double before the int cast (see
+    // tag_prompt_lengths).
+    std::mt19937_64 plen_rng(seed ^ 0x7072656669786c65ull);  // "prefixle"
+    std::vector<int64_t> prefix_len(o.prefix_population, 0);
+    for (int p = 0; p < o.prefix_population; ++p) {
+        double u = draw(plen_rng);
+        double d = std::min(-std::log1p(-u) * o.prefix_mean_len,
+                            static_cast<double>(o.max_prompt_len - 2));
+        prefix_len[p] = 1 + static_cast<int64_t>(std::floor(d));
+    }
+    // Zipf popularity over population ranks: cumulative weights once,
+    // one inverse-CDF binary search per session.
+    std::vector<double> cum(o.prefix_population, 0.0);
+    double total = 0.0;
+    for (int p = 0; p < o.prefix_population; ++p) {
+        total += std::pow(1.0 / static_cast<double>(p + 1),
+                          o.prefix_zipf_s);
+        cum[p] = total;
+    }
+
+    std::mt19937_64 turn_rng(seed ^ 0x7475726e73647261ull);   // "turnsdra"
+    std::mt19937_64 think_rng(seed ^ 0x7468696e6b74696dull);  // "thinktim"
+    std::mt19937_64 prompt_rng(seed ^ 0x70726d70746c656eull); // "prmptlen"
+    std::mt19937_64 zipf_rng(seed ^ 0x7a6970667072656full);   // "zipfpreo"
+
+    std::vector<Request> out;
+    out.reserve(static_cast<size_t>(o.sessions));
+    for (int s = 0; s < o.sessions; ++s) {
+        // Geometric-tailed turn count (mean_turns == 1 is exact: no
+        // draw consumed, like make_request_trace's 0/1 fractions).
+        int turns = 1;
+        if (o.mean_turns > 1.0) {
+            double u = draw(turn_rng);
+            double d = std::min(
+                -std::log1p(-u) * (o.mean_turns - 1.0), 1000.0);
+            turns = 1 + static_cast<int>(std::floor(d));
+        }
+        // Every turn of a session carries the session's prefix — the
+        // follow-up turns are what the prefix cache turns into hits.
+        int pid = -1;
+        if (o.prefix_population > 0) {
+            double u = draw(zipf_rng) * total;
+            pid = static_cast<int>(
+                std::lower_bound(cum.begin(), cum.end(), u) -
+                cum.begin());
+            pid = std::min(pid, o.prefix_population - 1);
+        }
+        double t = starts[s];
+        for (int k = 0; k < turns; ++k) {
+            if (k > 0 && o.think_time_s > 0.0) {
+                t += -std::log1p(-draw(think_rng)) * o.think_time_s;
+            }
+            Request r;
+            r.arrival = t;
+            r.phase = Phase::kPrefill;
+            r.decode_tokens = o.decode_tokens;
+            // The private suffix past the shared prefix (the user's
+            // own text); 0 mean = full-length prompts.
+            int64_t suffix = o.max_prompt_len;
+            if (o.prompt_mean_len > 0.0) {
+                double u = draw(prompt_rng);
+                double d = std::min(
+                    -std::log1p(-u) * o.prompt_mean_len,
+                    static_cast<double>(o.max_prompt_len - 1));
+                suffix = 1 + static_cast<int64_t>(std::floor(d));
+            }
+            if (pid >= 0) {
+                r.prefix_id = pid;
+                r.prefix_len = static_cast<int>(prefix_len[pid]);
+                r.prompt_len = static_cast<int>(
+                    std::min(prefix_len[pid] + suffix,
+                             static_cast<int64_t>(o.max_prompt_len)));
+            } else {
+                r.prompt_len = static_cast<int>(suffix);
+            }
+            out.push_back(r);
+        }
+    }
+    // Interleave sessions into one arrival-ordered trace; stable, so
+    // equal arrivals keep generation order (deterministic).
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return out;
+}
+
 std::string
 ServingReport::summary() const
 {
@@ -946,6 +1346,13 @@ ServingReport::summary() const
             << kv_evictions << " evictions, " << kv_refetches
             << " refetches (" << ms(kv_stall) << " ms stalled), "
             << deferred_admissions << " deferred admissions";
+    }
+    if (prefix_sharing) {
+        out << "\n  prefix cache : " << prefix_hits << " hits / "
+            << prefix_hit_tokens << " tokens; "
+            << prefill_tokens_saved << " prefill token slots saved; "
+            << "peak shared KV " << shared_kv_bytes / 1024
+            << " KB/core";
     }
     return out.str();
 }
@@ -1000,6 +1407,14 @@ ServingReport::serialize_bits() const
     append_bits(out, kv_refetches);
     append_bits(out, kv_stall);
     append_bits(out, deferred_admissions);
+    // The prefix block stays the trailing suffix of the
+    // serialization: the sharing-disabled bit-identity anchor in
+    // tests/prefix_test.cc compares everything before it by length.
+    append_bits(out, static_cast<uint8_t>(prefix_sharing ? 1 : 0));
+    append_bits(out, prefix_hits);
+    append_bits(out, prefix_hit_tokens);
+    append_bits(out, prefill_tokens_saved);
+    append_bits(out, shared_kv_bytes);
     return out;
 }
 
@@ -1030,6 +1445,12 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
         util::check(opts_.max_prompt_len >= 1,
                     "Server: KV modeling needs max_prompt_len to "
                     "size per-request KV segments");
+    }
+    if (opts_.prefix_sharing) {
+        util::check(opts_.kv_budget > 0,
+                    "Server: prefix sharing needs KV modeling "
+                    "(kv_budget > 0) — shared prefix segments live "
+                    "in the modeled KV pool");
     }
 }
 

@@ -72,6 +72,20 @@ struct ArrivalTrace {
      */
     static std::vector<double> poisson(int n, double rate_per_s,
                                        uint64_t seed);
+
+    /**
+     * Bursty open loop: a two-state Markov-modulated Poisson process
+     * averaging @p rate_per_s requests/s. 10% of the time the process
+     * sits in a burst state arriving at @p burst_factor x the mean
+     * rate; the calm state's rate is scaled down so the long-run mean
+     * stays @p rate_per_s. @p burst_factor must be in [1, 10);
+     * 1 degenerates to (a re-drawn) Poisson. Same platform-stable
+     * draw discipline as poisson(), with the state-holding times on
+     * their own domain-separated stream.
+     */
+    static std::vector<double> bursty(int n, double rate_per_s,
+                                      double burst_factor,
+                                      uint64_t seed);
 };
 
 /// Which serving stage a request arrives in.
@@ -102,6 +116,14 @@ struct Request {
     /// (ServerOptions::max_prompt_len) — the fixed-shape scheduler's
     /// behavior. Ignored for decode-phase requests.
     int prompt_len = 0;
+    /// Shared-prefix population id this prompt starts with, or -1
+    /// (default) for a fully private prompt. Requires
+    /// ServerOptions::prefix_sharing and Phase::kPrefill.
+    int prefix_id = -1;
+    /// Prompt tokens the shared prefix covers; must be in
+    /// [1, prompt_len - 1] when prefix_id >= 0 (at least one residual
+    /// token always reaches prefill). Ignored when prefix_id < 0.
+    int prefix_len = 0;
 };
 
 /// Helpers to build Request traces from plain arrival times.
@@ -137,6 +159,53 @@ void tag_prompt_lengths(std::vector<Request>& requests, int max_len,
 /// bucket when none does. The server's bucket-selection rule for
 /// decode batches, prefill batches, and prompt lengths alike.
 int pick_bucket(const std::vector<int>& buckets, int need);
+
+/**
+ * Knobs for make_session_trace(): conversational traffic — multi-turn
+ * sessions with think-time between turns, a Zipf-popular population of
+ * shared prompt prefixes, and an optionally bursty session arrival
+ * process. The defaults (single turn, no prefixes, burst_factor 1)
+ * reduce to a Poisson prefill trace.
+ */
+struct SessionTraceOptions {
+    int sessions = 0;           ///< conversation count (>= 0).
+    double rate_per_s = 0.0;    ///< session arrival rate; 0 = all at
+                                ///< t = 0 (closed loop).
+    double burst_factor = 1.0;  ///< ArrivalTrace::bursty() factor in
+                                ///< [1, 10); 1 = plain Poisson.
+    double mean_turns = 1.0;    ///< mean prompts per session (>= 1,
+                                ///< geometric tail).
+    double think_time_s = 0.0;  ///< mean gap between a session's
+                                ///< turns (exponential; 0 = back to
+                                ///< back).
+    int decode_tokens = 1;      ///< decode tokens per turn.
+    int max_prompt_len = 0;     ///< model sequence length (>= 1; >= 2
+                                ///< when prefixes are in play).
+    double prompt_mean_len = 0.0;  ///< geometric mean of the private
+                                   ///< suffix length; 0 = full-length
+                                   ///< prompts.
+    int prefix_population = 0;  ///< distinct shared prefixes; 0
+                                ///< disables prefix tagging entirely.
+    double prefix_zipf_s = 1.0; ///< Zipf popularity exponent.
+    double prefix_mean_len = 0.0;  ///< geometric mean of a prefix's
+                                   ///< canonical length.
+};
+
+/**
+ * Builds a conversational Request trace: sessions arrive on a
+ * (possibly bursty) open-loop process, each runs a geometric number of
+ * prefill turns separated by exponential think-time, every turn of a
+ * session reuses the session's Zipf-drawn shared prefix id, and each
+ * turn's prompt is that prefix plus a geometric private suffix
+ * (clamped so at least one residual token always reaches prefill).
+ * All requests are prefill-phase, normal priority, sorted by arrival.
+ * Every distribution draws from its own domain-separated mt19937_64
+ * stream — like tag_prompt_lengths(), the trace is bit-identical for
+ * one @p seed on every platform and standard library, and changing
+ * one knob never perturbs another knob's draws.
+ */
+std::vector<Request> make_session_trace(const SessionTraceOptions& opts,
+                                        uint64_t seed);
 
 /// Serving knobs.
 struct ServerOptions {
@@ -192,6 +261,15 @@ struct ServerOptions {
     /// (graph::kv_bytes_per_token(model); the server divides by the
     /// core count). Required > 0 when kv_budget > 0.
     uint64_t kv_bytes_per_token = 0;
+    /// Serve prompts tagged with shared-prefix ids (Request::
+    /// prefix_id) from a prefix cache: the first prompt carrying a
+    /// prefix seeds a refcounted shared KV segment, later prompts hit
+    /// it and skip the covered prefill tokens — the prefill bucket is
+    /// chosen for the residual length only. Requires kv_budget > 0
+    /// (prefix KV lives in the modeled pool; fatal otherwise). Off
+    /// (default) rejects prefix-tagged requests and is bit-identical
+    /// to the prefix-free scheduler.
+    bool prefix_sharing = false;
 };
 
 /// Aggregate serving metrics for one trace (paper-style tail report).
@@ -288,6 +366,24 @@ struct ServingReport {
     /// the budget next to the segments already resident
     /// (admission backpressure).
     int deferred_admissions = 0;
+
+    // --- prefix cache (ServerOptions::prefix_sharing; all zero when
+    // --- sharing is off) ---
+    /// Prefix sharing was enabled for this serve (gates the summary
+    /// block; the counters below are all zero when false).
+    bool prefix_sharing = false;
+    /// Prompts whose prefix id matched a cached shared segment.
+    int64_t prefix_hits = 0;
+    /// Prompt tokens those hits covered — tokens served from cached
+    /// KV instead of being ingested by a prefill iteration.
+    int64_t prefix_hit_tokens = 0;
+    /// Program-level prefill token slots avoided: for every prefill
+    /// iteration, the (batch bucket x length bucket) slots the claimed
+    /// prompts would have needed at their full lengths, minus the
+    /// slots the residual-length bucket actually computed.
+    int64_t prefill_tokens_saved = 0;
+    /// High-water mark of resident shared prefix KV bytes per core.
+    uint64_t shared_kv_bytes = 0;
 
     /// Multi-line human summary.
     std::string summary() const;

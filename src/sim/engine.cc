@@ -259,9 +259,13 @@ EngineState::kv_score(const KvSegment& seg) const
 {
     // The segment substitutes streaming its machine-total bytes back
     // from HBM; per resident byte that is the core count. Same units
-    // as entry_score, so weights and KV compare directly.
+    // as entry_score, so weights and KV compare directly. A shared
+    // prefix saves that stream once per sharer, so its sharer count
+    // adds to the reuse term (exactly +0.0 for private segments —
+    // bit-identical to the share-free formula).
     return static_cast<double>(machine_.config().total_cores()) *
-           (1.0 + static_cast<double>(seg.hits));
+           (1.0 + static_cast<double>(seg.hits) +
+            static_cast<double>(seg.share_count));
 }
 
 int
@@ -315,6 +319,9 @@ EngineState::kv_spill(int idx)
     seg.resident = false;
     kv_resident_bytes_ -= seg.bytes;
     occupancy_ -= static_cast<double>(seg.bytes);
+    if (seg.share_count > 0) {
+        kv_shared_bytes_ -= seg.bytes;
+    }
     ++kv_evictions_;
 }
 
@@ -383,6 +390,10 @@ EngineState::kv_fetch(int64_t id)
     kv_resident_bytes_ += seg.bytes;
     occupancy_ += static_cast<double>(seg.bytes);
     kv_bytes_peak_ = std::max(kv_bytes_peak_, kv_resident_bytes_);
+    if (seg.share_count > 0) {
+        kv_shared_bytes_ += seg.bytes;
+        kv_shared_peak_ = std::max(kv_shared_peak_, kv_shared_bytes_);
+    }
     relieve_pressure();
     return seg.resident;
 }
@@ -394,6 +405,11 @@ EngineState::kv_grow(int64_t id, uint64_t per_core_bytes)
     util::check(idx >= 0,
                 "EngineState: kv_grow() of an unowned segment");
     KvSegment& seg = kv_[idx].seg;
+    // Copy-on-extend: bytes other sharers read are immutable. The
+    // caller forks a private tail segment and grows that instead.
+    util::check(seg.share_count == 0,
+                "EngineState: kv_grow() of a shared prefix "
+                "(copy-on-extend: fork a private tail segment)");
     seg.bytes += per_core_bytes;
     if (!seg.resident) {
         return;  // grows in HBM for free
@@ -443,11 +459,64 @@ EngineState::kv_free(int64_t id)
                 "EngineState: kv_free() of an unowned segment");
     util::check(kv_[idx].seg.pin_count == 0,
                 "EngineState: kv_free() of a pinned segment");
+    util::check(kv_[idx].seg.share_count == 0,
+                "EngineState: kv_free() of a shared segment");
     if (kv_[idx].seg.resident) {
         kv_resident_bytes_ -= kv_[idx].seg.bytes;
         occupancy_ -= static_cast<double>(kv_[idx].seg.bytes);
     }
     kv_.erase(kv_.begin() + idx);
+}
+
+void
+EngineState::kv_share(int64_t id)
+{
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
+                "EngineState: kv_share() of an unowned segment");
+    KvSegment& seg = kv_[idx].seg;
+    ++seg.share_count;
+    if (seg.resident && seg.share_count == 1) {
+        kv_shared_bytes_ += seg.bytes;
+        kv_shared_peak_ = std::max(kv_shared_peak_, kv_shared_bytes_);
+    }
+}
+
+void
+EngineState::kv_release(int64_t id)
+{
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
+                "EngineState: kv_release() of an unowned segment");
+    KvSegment& seg = kv_[idx].seg;
+    util::check(seg.share_count > 0,
+                "EngineState: kv_release() of an unshared segment");
+    --seg.share_count;
+    if (seg.resident && seg.share_count == 0) {
+        kv_shared_bytes_ -= seg.bytes;
+    }
+}
+
+int
+EngineState::kv_share_count(int64_t id) const
+{
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
+                "EngineState: kv_share_count() of an unowned segment");
+    return kv_[idx].seg.share_count;
+}
+
+void
+EngineState::kv_evict(int64_t id)
+{
+    const int idx = kv_find(id);
+    util::check(idx >= 0,
+                "EngineState: kv_evict() of an unowned segment");
+    util::check(kv_[idx].seg.resident,
+                "EngineState: kv_evict() of a non-resident segment");
+    util::check(kv_[idx].seg.pin_count == 0,
+                "EngineState: kv_evict() of a pinned segment");
+    kv_spill(idx);
 }
 
 bool
@@ -490,15 +559,21 @@ EngineState::check_pool_invariants() const
     util::check(weight_bytes == resident_bytes_,
                 "EngineState: resident_bytes_ drifted from the pool");
     uint64_t kv_bytes = 0;
+    uint64_t shared_bytes = 0;
     for (size_t i = 0; i < kv_.size(); ++i) {
         if (kv_[i].seg.resident) {
             kv_bytes += kv_[i].seg.bytes;
+            if (kv_[i].seg.share_count > 0) {
+                shared_bytes += kv_[i].seg.bytes;
+            }
         }
         util::check(i == 0 || kv_[i - 1].id < kv_[i].id,
                     "EngineState: KV pool out of order");
     }
     util::check(kv_bytes == kv_resident_bytes_,
                 "EngineState: kv_resident_bytes_ drifted from the pool");
+    util::check(shared_bytes == kv_shared_bytes_,
+                "EngineState: kv_shared_bytes_ drifted from the pool");
 #endif
 }
 

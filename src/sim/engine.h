@@ -314,9 +314,51 @@ class EngineState {
     void kv_unpin(int64_t id);
 
     /// Destroys @p id (request completed), releasing its bytes.
-    /// Requires the segment to exist and be unpinned; freeing an
-    /// unowned or pinned segment panics.
+    /// Requires the segment to exist, be unpinned, and hold no shares;
+    /// freeing an unowned, pinned, or shared segment panics.
     void kv_free(int64_t id);
+
+    // --- shared prefix segments ------------------------------------
+    //
+    // A segment can additionally be a *shared prefix*: many requests
+    // claim the same cached KV bytes (a common system prompt) instead
+    // of each recomputing them. kv_share()/kv_release() manage the
+    // refcount. Sharing does not block eviction — an unpinned shared
+    // prefix can still be spilled at the budget boundary or under
+    // pressure, and the serving runtime prices the re-fetch every
+    // sharer then pays — but it does forbid kv_free() and kv_grow():
+    // a request growing past a shared prefix must fork a private tail
+    // segment (copy-on-extend) rather than mutate bytes other sharers
+    // read. Under kFrequencyAware a prefix's worth scales with its
+    // sharer count on top of its reuse count. With no kv_share()
+    // calls every refcount is zero and the pool's arithmetic is
+    // bit-identical to the share-free engine.
+
+    /// Registers one sharer on segment @p id. Requires the segment to
+    /// exist (resident or spilled).
+    void kv_share(int64_t id);
+
+    /// Releases one kv_share(). Releasing a segment with no shares
+    /// panics.
+    void kv_release(int64_t id);
+
+    /// Current sharer count of @p id (0 for a private segment).
+    int kv_share_count(int64_t id) const;
+
+    /**
+     * Explicitly spills the resident segment @p id to HBM — the
+     * serving runtime's cache-management eviction, counted like any
+     * other spill. Evicting a pinned segment (in use by a running or
+     * parked iteration) panics; a shared-but-unpinned prefix is fair
+     * game, its sharers pay the re-fetch. Requires residency.
+     */
+    void kv_evict(int64_t id);
+
+    /// Per-core bytes of resident segments whose share count is > 0.
+    uint64_t kv_shared_bytes() const { return kv_shared_bytes_; }
+
+    /// High-water mark of kv_shared_bytes() since construction.
+    uint64_t kv_shared_bytes_peak() const { return kv_shared_peak_; }
 
     /// True when @p id exists and currently occupies SRAM.
     bool kv_resident(int64_t id) const;
@@ -367,6 +409,8 @@ class EngineState {
                              ///< kFrequencyAware).
         int pin_count = 0;   ///< running/parked consumers; > 0 blocks
                              ///< every form of eviction.
+        int share_count = 0; ///< prefix sharers; > 0 forbids
+                             ///< kv_free()/kv_grow(), not eviction.
         bool resident = false;  ///< in SRAM (vs spilled to HBM).
     };
 
@@ -498,6 +542,8 @@ class EngineState {
     std::vector<KvSlot> kv_;  ///< sorted by request id.
     uint64_t kv_resident_bytes_ = 0;
     uint64_t kv_bytes_peak_ = 0;
+    uint64_t kv_shared_bytes_ = 0;  ///< resident bytes with shares > 0.
+    uint64_t kv_shared_peak_ = 0;
     int64_t kv_evictions_ = 0;
     double occupancy_ = 0.0;  ///< per-core bytes (incl. residents
                               ///< and resident KV segments).

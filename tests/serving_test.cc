@@ -17,6 +17,7 @@
 #include "runtime/server.h"
 #include "sim/engine.h"
 #include "test_helpers.h"
+#include "util/thread_pool.h"
 
 namespace elk {
 namespace {
@@ -486,6 +487,35 @@ TEST(ServingCompilerTest, SharedCacheAmortizesAcrossInstances)
     ASSERT_EQ(pa->ops.size(), pb->ops.size());
     // Memoization returns the identical object within an instance.
     EXPECT_EQ(pa.get(), a.program(4).get());
+}
+
+// Many threads race program() on one ServingCompiler: the first
+// caller of each (batch, prompt_len) grid point compiles under the
+// unique lock, later callers hit the shared-lock warm path, and every
+// caller of a point gets the identical memoized object. This is the
+// std::shared_mutex warm-grid path the TSan CI leg watches.
+TEST(ServingCompilerTest, ConcurrentProgramCallsShareTheWarmGrid)
+{
+    compiler::PlanCache cache;
+    compiler::CompileOptions copts;
+    copts.mode = compiler::Mode::kElkDyn;
+    copts.max_orders = 6;
+    compiler::ServingCompiler pc(
+        testing::tiny_llm(), 128, tiny_chip(), copts, &cache,
+        /*jobs=*/1, compiler::ServingCompiler::Options::prefill());
+    util::ThreadPool pool(4);
+    constexpr int kTasks = 36;
+    std::vector<const sim::SimProgram*> seen(kTasks);
+    util::ThreadPool::run(&pool, kTasks, [&](int i) {
+        const int batches[] = {1, 2, 4};
+        const int lens[] = {16, 64, 128};
+        seen[i] =
+            pc.program(batches[i % 3], lens[(i / 3) % 3]).get();
+    });
+    // i and i % 9 name the same (batch, len) grid point.
+    for (int i = 9; i < kTasks; ++i) {
+        EXPECT_EQ(seen[i], seen[i % 9]);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,35 @@ TEST(StatsTest, Percentile)
     EXPECT_DOUBLE_EQ(percentile(xs, 25), 20);
 }
 
+TEST(StatsTest, PercentileSortedEdgeCases)
+{
+    // Empty input is defined as 0 (serving reports print 0 for an
+    // empty latency set rather than dying).
+    EXPECT_DOUBLE_EQ(percentile_sorted({}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted({}, 100), 0.0);
+
+    // A single element is every percentile.
+    std::vector<double> one{7.5};
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 50), 7.5);
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 99), 7.5);
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 100), 7.5);
+
+    // Exact-boundary ranks (p/100 * (n-1) integral) return the
+    // element itself, no interpolation: n = 5 puts p25/p50/p75 on
+    // indices 1/2/3 exactly.
+    std::vector<double> xs{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 25), 20.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 50), 30.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 75), 40.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 100), 50.0);
+    // And an off-boundary rank interpolates linearly between its
+    // neighbors: p90 of 5 elements sits at rank 3.6.
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, 90), 46.0);
+}
+
 TEST(StatsTest, MapeSkipsZeroMeasurements)
 {
     std::vector<double> measured{0.0, 100.0};

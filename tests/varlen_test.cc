@@ -54,6 +54,11 @@ TEST(PickBucketTest, SmallestCoveringExactFitAndOverflow)
     EXPECT_EQ(runtime::pick_bucket(buckets, 17), 64);   // next cover
     EXPECT_EQ(runtime::pick_bucket(buckets, 128), 128);
     EXPECT_EQ(runtime::pick_bucket(buckets, 400), 128);  // overflow
+    // Overflow clamps to the largest bucket no matter how far past
+    // it the need lands, including the single-bucket degenerate grid.
+    EXPECT_EQ(runtime::pick_bucket(buckets, 129), 128);
+    EXPECT_EQ(runtime::pick_bucket({64}, 1), 64);
+    EXPECT_EQ(runtime::pick_bucket({64}, 1 << 20), 64);
 }
 
 TEST(TagPromptLengthsTest, SeededBoundedAndPhaseIndependent)

@@ -100,6 +100,19 @@ usage(const char* argv0)
         "                    (default 0 = derive from the model\n"
         "                    geometry: 2 x layers x kv_heads x\n"
         "                    head_dim x dtype)\n"
+        "  --prefix-pop N    distinct shared prompt prefixes, drawn\n"
+        "                    Zipf per session (default 0 = prefix\n"
+        "                    sharing off; requires --kv-budget > 0)\n"
+        "  --turns T         mean prefill turns per session\n"
+        "                    (geometric tail; default 1; requires\n"
+        "                    --kv-budget > 0)\n"
+        "  --think-time S    mean think-time in seconds between a\n"
+        "                    session's turns (exponential; default 0;\n"
+        "                    requires --kv-budget > 0)\n"
+        "  --burst F         arrival burstiness: bursts run at F x\n"
+        "                    the mean rate for ~10%% of the time\n"
+        "                    (F in [1, 10); default 1 = plain\n"
+        "                    Poisson; requires --kv-budget > 0)\n"
         "  --no-preempt      high-priority arrivals never interrupt a\n"
         "                    running iteration\n"
         "  --no-residency    re-preload weights every iteration\n"
@@ -160,6 +173,10 @@ serve_main(int argc, char** argv, const char* argv0)
     std::string policy = "retire-order";
     int kv_budget_kb = 0;
     int kv_bytes_per_token = 0;
+    int prefix_pop = 0;
+    double turns = 1.0;
+    double think_time = 0.0;
+    double burst = 1.0;
     bool preempt = true;
     bool residency = true;
     bool cache_keys = false;
@@ -220,6 +237,17 @@ serve_main(int argc, char** argv, const char* argv0)
         } else if (const char* v = arg("--kv-bytes-per-token")) {
             kv_bytes_per_token = util::parse_int_arg(
                 v, "--kv-bytes-per-token", 0, 1 << 30);
+        } else if (const char* v = arg("--prefix-pop")) {
+            prefix_pop =
+                util::parse_int_arg(v, "--prefix-pop", 0, 1 << 20);
+        } else if (const char* v = arg("--turns")) {
+            turns = util::parse_double_arg(v, "--turns", 1.0, 1e6);
+        } else if (const char* v = arg("--think-time")) {
+            think_time =
+                util::parse_double_arg(v, "--think-time", 0.0, 1e9);
+        } else if (const char* v = arg("--burst")) {
+            burst = util::parse_double_arg(v, "--burst", 1.0,
+                                           10.0 - 1e-9);
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
             preempt = false;
         } else if (std::strcmp(argv[i], "--no-residency") == 0) {
@@ -263,6 +291,18 @@ serve_main(int argc, char** argv, const char* argv0)
     } else {
         util::fatal("unknown residency policy: " + policy);
     }
+    // The session/prefix flags are only meaningful with KV modeling
+    // on: shared prefixes and per-turn KV reuse live in the modeled
+    // KV pool, so serving a session trace at --kv-budget 0 would
+    // silently drop the very effect being measured.
+    const bool session_trace = prefix_pop > 0 || turns > 1.0 ||
+                               think_time > 0.0 || burst > 1.0;
+    if (session_trace && kv_budget_kb == 0) {
+        util::fatal(
+            "--prefix-pop/--turns/--think-time/--burst need KV "
+            "modeling: pass --kv-budget KB > 0 (shared prefixes and "
+            "multi-turn KV reuse live in the modeled KV pool)");
+    }
 
     hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
     compiler::CompileOptions copts;
@@ -289,22 +329,51 @@ serve_main(int argc, char** argv, const char* argv0)
             ? static_cast<uint64_t>(kv_bytes_per_token)
             : graph::kv_bytes_per_token(
                   graph::model_by_name(model_name));
+    sopts.prefix_sharing = prefix_pop > 0;
     runtime::Server server(sc.machine(), sopts);
-    std::vector<double> arrivals =
-        rate > 0 ? runtime::ArrivalTrace::poisson(
-                       requests, rate, static_cast<uint64_t>(seed))
-                 : runtime::ArrivalTrace::closed_loop(requests);
-    std::vector<runtime::Request> trace = runtime::make_request_trace(
-        arrivals, tokens, prefill_frac, high_frac,
-        static_cast<uint64_t>(seed));
-    if (prompt_mean > 0.0) {
-        runtime::tag_prompt_lengths(trace, seq, prompt_mean,
-                                    static_cast<uint64_t>(seed));
+    std::vector<runtime::Request> trace;
+    if (session_trace) {
+        runtime::SessionTraceOptions st;
+        st.sessions = requests;
+        st.rate_per_s = rate;
+        st.burst_factor = burst;
+        st.mean_turns = turns;
+        st.think_time_s = think_time;
+        st.decode_tokens = tokens;
+        st.max_prompt_len = seq;
+        st.prompt_mean_len = prompt_mean;
+        st.prefix_population = prefix_pop;
+        st.prefix_zipf_s = 1.0;
+        st.prefix_mean_len =
+            prefix_pop > 0
+                ? (prompt_mean > 0.0 ? prompt_mean : seq / 8.0)
+                : 0.0;
+        trace = runtime::make_session_trace(
+            st, static_cast<uint64_t>(seed));
+    } else {
+        std::vector<double> arrivals =
+            rate > 0
+                ? runtime::ArrivalTrace::poisson(
+                      requests, rate, static_cast<uint64_t>(seed))
+                : runtime::ArrivalTrace::closed_loop(requests);
+        trace = runtime::make_request_trace(
+            arrivals, tokens, prefill_frac, high_frac,
+            static_cast<uint64_t>(seed));
+        if (prompt_mean > 0.0) {
+            runtime::tag_prompt_lengths(trace, seq, prompt_mean,
+                                        static_cast<uint64_t>(seed));
+        }
     }
 
     std::printf("serving    : %s, %s, batch %d, seq %d\n",
                 model_name.c_str(), sc.mode().c_str(), batch, seq);
-    if (rate > 0) {
+    if (session_trace) {
+        std::printf("trace      : %d sessions -> %d turns, mean %g "
+                    "turns, think %g s, burst x%g, %d shared "
+                    "prefixes\n",
+                    requests, static_cast<int>(trace.size()), turns,
+                    think_time, burst, prefix_pop);
+    } else if (rate > 0) {
         std::printf("trace      : %d requests x %d tokens, "
                     "Poisson @ %g req/s\n",
                     requests, tokens, rate);
