@@ -19,6 +19,10 @@
  *                  shared prefixes, bursty arrivals) with prefix-cache
  *                  KV sharing on under the same budget (refcounted
  *                  shared segments, longest-match, copy-on-extend);
+ *   serve_cluster— the same session trace routed across 4 chip
+ *                  replicas (round-robin, KV migration over a ring
+ *                  interconnect): the cluster router plus four full
+ *                  replica serves per run;
  *
  * and one micro phase isolates the engine sections those serves are
  * built from:
@@ -56,6 +60,7 @@
 #include "elk/plan_cache.h"
 #include "elk/serving_compiler.h"
 #include "graph/model_builder.h"
+#include "runtime/cluster.h"
 #include "runtime/server.h"
 #include "util/bits.h"
 #include "util/parse.h"
@@ -381,6 +386,53 @@ main(int argc, char** argv)
             });
         });
     cells.insert(cells.end(), serve_cells.begin(), serve_cells.end());
+
+    // --- serve_cluster: the session trace routed across 4 replicas
+    // (round-robin, KV migration over a ring interconnect) — times
+    // the cluster router plus four full replica serves per run.
+    std::vector<PerfCell> cluster_cells(modes.size());
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(modes.size()), [&](int m) {
+            PerfCell& cell = cluster_cells[m];
+            cell.phase = "serve_cluster";
+            cell.name = decodes[m]->mode();
+            cell.unit = "req/s";
+            runtime::ClusterOptions clopts;
+            clopts.replicas = 4;
+            clopts.router = runtime::RouterPolicy::kRoundRobin;
+            clopts.migrate_kv = true;
+            clopts.server = base;
+            clopts.server.max_prefill_batch = prefill_batch;
+            clopts.server.max_prompt_len = seq;
+            clopts.server.prompt_buckets = prompt_buckets;
+            clopts.server.kv_budget = kv_budget;
+            clopts.server.kv_bytes_per_token =
+                graph::kv_bytes_per_token(model);
+            clopts.server.prefix_sharing = true;
+            auto trace = session_trace(/*seed=*/23);
+            cell.work = static_cast<double>(trace.size());
+            runtime::Cluster cluster(decodes[m]->machine(), clopts);
+            time_cell(cell, warmup, repeat, [&] {
+                runtime::ClusterReport rep = cluster.serve(
+                    trace,
+                    [&](int b, int len) {
+                        return prefills[m]->program(b, len);
+                    },
+                    [&](int b) { return decodes[m]->program(b); });
+                int iters = 0;
+                for (const auto& r : rep.replica_reports) {
+                    iters += r.iterations;
+                }
+                cell.iterations = iters;
+                cell.tokens = rep.tokens;
+                std::string bits = rep.serialize_bits();
+                util::Fnv1a h;
+                h.mix(bits.data(), bits.size());
+                return h.hex();
+            });
+        });
+    cells.insert(cells.end(), cluster_cells.begin(),
+                 cluster_cells.end());
 
     // --- engine micro sections -------------------------------------
     // Sized in work units, not wall-clock, so the JSON trajectory is

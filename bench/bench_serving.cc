@@ -51,6 +51,7 @@
 #include "elk/plan_cache.h"
 #include "elk/serving_compiler.h"
 #include "graph/model_builder.h"
+#include "runtime/cluster.h"
 #include "runtime/server.h"
 #include "util/bits.h"
 
@@ -61,6 +62,16 @@ using namespace elk;
 /// FNV-1a hex digest of a report's exact bit serialization.
 std::string
 digest(const runtime::ServingReport& rep)
+{
+    std::string bits = rep.serialize_bits();
+    util::Fnv1a h;
+    h.mix(bits.data(), bits.size());
+    return h.hex();
+}
+
+/// Same digest over a cluster roll-up (covers every replica report).
+std::string
+digest(const runtime::ClusterReport& rep)
 {
     std::string bits = rep.serialize_bits();
     util::Fnv1a h;
@@ -472,5 +483,97 @@ main(int argc, char** argv)
         "8 Zipf prefixes, bursty; sharing off vs on, cache-budget "
         "sweep)");
     prefix.write_csv("serving_prefix");
+
+    // Phase 7: cluster scale-out — the phase-6 session trace routed
+    // across chip replicas under a router-policy sweep at N = 1/2/4
+    // (KV migration over a ring interconnect on throughout). The
+    // N = 1 round-robin row is the single-chip anchor; scaling N
+    // shows goodput rising with the router's balance (token skew),
+    // and session-affinity trades interconnect traffic for cache
+    // locality — migrations and wire stalls drop against round-robin
+    // and least-loaded on the same trace. Routing is a pure function
+    // of the trace, so every cell (and the whole table) is
+    // bit-identical at any --jobs.
+    struct ClusterPoint {
+        const char* label;
+        int replicas;
+        runtime::RouterPolicy router;
+    };
+    const std::vector<ClusterPoint> cl_points = {
+        {"1 rr", 1, runtime::RouterPolicy::kRoundRobin},
+        {"2 rr", 2, runtime::RouterPolicy::kRoundRobin},
+        {"2 least", 2, runtime::RouterPolicy::kLeastLoaded},
+        {"2 affinity", 2, runtime::RouterPolicy::kSessionAffinity},
+        {"4 rr", 4, runtime::RouterPolicy::kRoundRobin},
+        {"4 least", 4, runtime::RouterPolicy::kLeastLoaded},
+        {"4 affinity", 4, runtime::RouterPolicy::kSessionAffinity},
+    };
+    struct ClusterCell {
+        int mode;
+        int point;
+        runtime::ClusterReport rep;
+    };
+    std::vector<ClusterCell> ccells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (size_t p = 0; p < cl_points.size(); ++p) {
+            ccells.push_back(
+                {static_cast<int>(m), static_cast<int>(p), {}});
+        }
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(ccells.size()), [&](int c) {
+            int m = ccells[c].mode;
+            const ClusterPoint& pt = cl_points[ccells[c].point];
+            runtime::SessionTraceOptions st;
+            st.sessions = requests / 2;
+            st.rate_per_s = 0.2 * closed[m].tokens_per_s / tokens;
+            st.burst_factor = 2.0;
+            st.mean_turns = 3.0;
+            st.think_time_s = 0.02;
+            st.decode_tokens = tokens;
+            st.max_prompt_len = seq;
+            st.prompt_mean_len = prompt_mean;
+            st.prefix_population = 8;
+            st.prefix_zipf_s = 1.0;
+            st.prefix_mean_len = prompt_mean;
+            auto trace = runtime::make_session_trace(st, /*seed=*/23);
+            runtime::ClusterOptions clopts;
+            clopts.replicas = pt.replicas;
+            clopts.router = pt.router;
+            clopts.migrate_kv = true;
+            clopts.server = sopts;
+            clopts.server.max_prefill_batch = prefill_batch;
+            clopts.server.max_prompt_len = seq;
+            clopts.server.prompt_buckets = varlen_buckets;
+            clopts.server.kv_budget = usable / 2;
+            clopts.server.kv_bytes_per_token =
+                graph::kv_bytes_per_token(model);
+            clopts.server.prefix_sharing = true;
+            runtime::Cluster cluster(compilers[m]->machine(), clopts);
+            ccells[c].rep = cluster.serve(
+                trace,
+                [&](int b, int len) {
+                    return prefills[m]->program(b, len);
+                },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    util::Table cl({"design", "cluster", "tokens/s", "skew",
+                    "ttft mean(ms)", "mean(ms)", "migr", "wire(KB)",
+                    "stall(ms)", "digest"});
+    for (const ClusterCell& cell : ccells) {
+        cl.add(compilers[cell.mode]->mode(),
+               cl_points[cell.point].label, cell.rep.tokens_per_s,
+               cell.rep.util_skew, runtime::ms(cell.rep.mean_ttft),
+               runtime::ms(cell.rep.mean_latency),
+               cell.rep.kv_migrations,
+               cell.rep.interconnect_bytes / 1024,
+               runtime::ms(cell.rep.kv_migration_stall),
+               digest(cell.rep));
+    }
+    cl.print(
+        "cluster scale-out on the session trace (router sweep at "
+        "1/2/4 replicas, KV migration over a ring interconnect)");
+    cl.write_csv("serving_cluster");
     return 0;
 }

@@ -12,9 +12,10 @@
  *
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
  *                   [prefill_frac] [high_frac] [prompt_mean] \
- *                   [kv_budget_kb] [prefix_pop] [turns]
+ *                   [kv_budget_kb] [prefix_pop] [turns] [replicas]
  *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256 2048
  *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3
+ *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3 4
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
@@ -34,6 +35,12 @@
  * sharing on when prefix_pop > 0). Both require kv_budget_kb > 0 —
  * shared prefixes live in the modeled KV pool, so asking for them
  * without KV modeling is a fatal error rather than a silent no-op.
+ * replicas (default 1) scales out to a cluster of that many chip
+ * replicas behind the deterministic router (session-affinity with KV
+ * migration over a ring interconnect when prefix_pop > 0, plain
+ * round-robin otherwise) and prints the cluster roll-up per design —
+ * goodput, per-replica token skew, interconnect traffic
+ * (docs/CLUSTER.md).
  */
 #include <cstdio>
 #include <string>
@@ -41,6 +48,7 @@
 #include "elk/plan_cache.h"
 #include "elk/serving_compiler.h"
 #include "graph/model_builder.h"
+#include "runtime/cluster.h"
 #include "runtime/metrics.h"
 #include "runtime/server.h"
 #include "util/logging.h"
@@ -90,6 +98,10 @@ main(int argc, char** argv)
         argc > 12
             ? util::parse_double_arg(argv[12], "turns", 1.0, 1e6)
             : 1.0;
+    int replicas =
+        argc > 13
+            ? util::parse_int_arg(argv[13], "replicas", 1, 4096)
+            : 1;
     const bool session_trace = prefix_pop > 0 || turns > 1.0;
     if (session_trace && kv_budget_kb == 0) {
         util::fatal(
@@ -160,6 +172,59 @@ main(int argc, char** argv)
     }
 
     compiler::PlanCache cache;
+    if (replicas > 1) {
+        // Cluster scale-out: route the same trace across N replicas
+        // per design and report the roll-up. Session traces pin
+        // sessions to home replicas and migrate shared KV over the
+        // ring; plain traces round-robin.
+        const bool affinity = prefix_pop > 0;
+        std::printf("cluster: %d replicas, %s router, ring "
+                    "interconnect, KV migration %s\n\n",
+                    replicas, affinity ? "session-affinity"
+                                       : "round-robin",
+                    affinity ? "on" : "off");
+        util::Table table({"design", "tokens/s", "skew", "mean(ms)",
+                           "max(ms)", "ttft(ms)", "migr",
+                           "wire(KB)", "stall(ms)"});
+        for (auto mode :
+             {compiler::Mode::kBasic, compiler::Mode::kStatic,
+              compiler::Mode::kElkDyn, compiler::Mode::kElkFull,
+              compiler::Mode::kIdeal}) {
+            compiler::CompileOptions copts;
+            copts.mode = mode;
+            compiler::ServingCompiler sc(model, seq, chip, copts,
+                                         &cache);
+            compiler::ServingCompiler pc(
+                model, seq, chip, copts, &cache, /*jobs=*/1,
+                compiler::ServingCompiler::Options::prefill());
+            runtime::ClusterOptions clopts;
+            clopts.replicas = replicas;
+            clopts.router =
+                affinity ? runtime::RouterPolicy::kSessionAffinity
+                         : runtime::RouterPolicy::kRoundRobin;
+            clopts.migrate_kv = affinity;
+            clopts.server.max_batch = batch;
+            clopts.server.tokens_per_request = tokens;
+            clopts.server.max_prompt_len = seq;
+            clopts.server.kv_budget =
+                static_cast<uint64_t>(kv_budget_kb) * 1024;
+            clopts.server.kv_bytes_per_token =
+                graph::kv_bytes_per_token(model);
+            clopts.server.prefix_sharing = prefix_pop > 0;
+            runtime::Cluster cluster(sc.machine(), clopts);
+            runtime::ClusterReport rep = cluster.serve(
+                trace,
+                [&](int b, int len) { return pc.program(b, len); },
+                [&](int b) { return sc.program(b); });
+            table.add(sc.mode(), rep.tokens_per_s, rep.util_skew,
+                      runtime::ms(rep.mean_latency),
+                      runtime::ms(rep.max_latency),
+                      runtime::ms(rep.mean_ttft), rep.kv_migrations,
+                      rep.interconnect_bytes / 1024,
+                      runtime::ms(rep.kv_migration_stall));
+        }
+        table.print("cluster goodput / balance per design");
+    } else {
     util::Table table({"design", "p50(ms)", "p95(ms)", "p99(ms)",
                        "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
                        "preempts", "padded_tok", "kv_peak(KB)",
@@ -202,6 +267,7 @@ main(int argc, char** argv)
                   runtime::ms(rep.steady_decode_preload));
     }
     table.print("serving tail latency / goodput per design");
+    }
     auto stats = cache.stats();
     std::printf("\nplan cache: %d entries, %lld hits, %lld misses\n",
                 stats.entries, static_cast<long long>(stats.hits),

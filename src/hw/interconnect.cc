@@ -1,0 +1,69 @@
+#include "hw/interconnect.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace elk::hw {
+
+std::string
+interconnect_name(InterconnectKind kind)
+{
+    switch (kind) {
+        case InterconnectKind::kRing:
+            return "ring";
+        case InterconnectKind::kFullMesh:
+            return "fullmesh";
+    }
+    return "unknown";
+}
+
+Interconnect::Interconnect(const InterconnectConfig& cfg, int nodes)
+    : cfg_(cfg), nodes_(nodes)
+{
+    util::check(nodes_ >= 1,
+                "Interconnect: cluster needs at least one chip");
+    util::check(cfg_.link_bw > 0,
+                "Interconnect: link bandwidth must be resolved "
+                "(> 0 bytes/s) before construction");
+    util::check(cfg_.hop_latency_s >= 0,
+                "Interconnect: hop latency must be >= 0");
+}
+
+int
+Interconnect::hops(int src, int dst) const
+{
+    util::check(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
+                "Interconnect: chip id out of range");
+    if (src == dst) {
+        return 0;
+    }
+    switch (cfg_.kind) {
+        case InterconnectKind::kFullMesh:
+            return 1;
+        case InterconnectKind::kRing: {
+            const int d = std::abs(src - dst);
+            return std::min(d, nodes_ - d);
+        }
+    }
+    return 1;
+}
+
+double
+Interconnect::transfer_seconds(int src, int dst, uint64_t bytes) const
+{
+    const int h = hops(src, dst);
+    if (h == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(h) * cfg_.hop_latency_s +
+           static_cast<double>(bytes) / cfg_.link_bw;
+}
+
+uint64_t
+Interconnect::link_bytes(int src, int dst, uint64_t bytes) const
+{
+    return static_cast<uint64_t>(hops(src, dst)) * bytes;
+}
+
+}  // namespace elk::hw

@@ -183,6 +183,13 @@ class DisaggRun {
     /// transfer, fabric quiet.
     void kv_charge_stream(int64_t stream_tokens);
 
+    /// Charges @p dt seconds of cross-chip KV migration (the
+    /// router-priced interconnect transfer a Request carries) as an
+    /// idle-clock stall before an iteration (no-op for 0). Unlike
+    /// kv_charge_stream the data crosses the chip-to-chip wire, so
+    /// the window enters the means with local HBM and fabric quiet.
+    void kv_charge_migration(double dt);
+
     /// Post-iteration bookkeeping for one member: releases its pin
     /// and either grows the segment by the decoded token or frees it
     /// (@p completed).
@@ -385,6 +392,7 @@ void
 DisaggRun::kv_prepare(const std::vector<int>& members)
 {
     int64_t stream_tokens = 0;
+    double migrate_stall = 0.0;
     for (int r : members) {
         if (prefix_on_ && prefix_share_[r] >= 0) {
             // The shared prefix is read every iteration. It is
@@ -404,12 +412,21 @@ DisaggRun::kv_prepare(const std::vector<int>& members)
             }
         }
         if (kv_tokens_[r] < 0) {
-            // Decode-phase arrival: its KV state exists elsewhere
-            // (e.g. a prefill tier) and migrates in over HBM.
+            // Decode-phase arrival: its KV state exists elsewhere.
+            // Untagged, it migrates in over local HBM (priced as a
+            // refetch); tagged by the cluster router, it arrives over
+            // the chip-to-chip interconnect and charges the carried
+            // transfer stall instead.
             const int64_t ctx = effective_prompt_len(r);
             kv_tokens_[r] = ctx;
-            stream_tokens += ctx;
-            ++rep_.kv_refetches;
+            if (requests_[r].kv_migrate_tokens > 0) {
+                ++rep_.kv_migrations;
+                rep_.kv_migrated_tokens += requests_[r].kv_migrate_tokens;
+                migrate_stall += requests_[r].kv_migrate_stall;
+            } else {
+                stream_tokens += ctx;
+                ++rep_.kv_refetches;
+            }
             state_.kv_alloc(r, kv_per_core(ctx));
         } else if (!state_.kv_resident(r)) {
             // Spilled under budget/pressure: stream it back.
@@ -423,6 +440,7 @@ DisaggRun::kv_prepare(const std::vector<int>& members)
         }
     }
     kv_charge_stream(stream_tokens);
+    kv_charge_migration(migrate_stall);
 }
 
 void
@@ -445,6 +463,25 @@ DisaggRun::kv_charge_stream(int64_t stream_tokens)
     depth_mean_.add(dt, static_cast<double>(waiting_total()));
     kv_mean_.add(dt, static_cast<double>(state_.kv_bytes()));
     hbm_mean_.add(dt, stream / dt);
+    noc_mean_.add(dt, 0.0);
+    state_.run_to(state_.now() + dt);
+    now_ = state_.now();
+}
+
+void
+DisaggRun::kv_charge_migration(double dt)
+{
+    if (dt <= 0.0) {
+        return;
+    }
+    // The segment lands over the chip-to-chip wire while this chip
+    // idles: a pure clock advance like kv_charge_stream, but local
+    // HBM carries none of it — the wire is the priced resource, and
+    // the router already folded its latency + bandwidth into dt.
+    rep_.kv_migration_stall += dt;
+    depth_mean_.add(dt, static_cast<double>(waiting_total()));
+    kv_mean_.add(dt, static_cast<double>(state_.kv_bytes()));
+    hbm_mean_.add(dt, 0.0);
     noc_mean_.add(dt, 0.0);
     state_.run_to(state_.now() + dt);
     now_ = state_.now();
@@ -574,6 +611,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     // past its cached prefix).
     std::vector<int> residuals = acquire_scratch();
     int64_t prefix_stream = 0;  ///< spilled-prefix tokens fetched back.
+    double migrate_stall = 0.0;  ///< router-priced interconnect stalls.
     if (!kv_on_) {
         claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only,
               members);
@@ -618,15 +656,36 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                     const int pid = requests_[r].prefix_id;
                     const int64_t pseg = prefix_kv_id(pid);
                     const int64_t covered = prefix_covered(r);
+                    // Prompt tokens a prefill program must actually
+                    // ingest for this member (its residual).
+                    int64_t residual = len;
                     if (covered > 0) {
                         ++rep_.prefix_hits;
                         rep_.prefix_hit_tokens += covered;
                         tail = len - covered;
+                        residual = len - covered;
                         if (!state_.kv_resident(pseg)) {
                             prefix_stream += prefix_tokens_[pid];
                             ++rep_.kv_refetches;
                             state_.kv_fetch(pseg);
                         }
+                    } else if (requests_[r].kv_migrate_tokens > 0) {
+                        // Migration: the shared segment arrives over
+                        // the cluster interconnect from the chip that
+                        // holds it, seeding the local cache — the
+                        // covered tokens skip prefill like a hit, and
+                        // the wire transfer (priced by the router)
+                        // stalls this chip instead of a re-prefill.
+                        const int64_t plen = requests_[r].prefix_len;
+                        prefix_tokens_[pid] = plen;
+                        ++rep_.prefix_hits;
+                        rep_.prefix_hit_tokens += plen;
+                        ++rep_.kv_migrations;
+                        rep_.kv_migrated_tokens += plen;
+                        migrate_stall += requests_[r].kv_migrate_stall;
+                        tail = len - plen;
+                        residual = len - plen;
+                        state_.kv_alloc(pseg, kv_per_core(plen));
                     } else {
                         // Miss: seed the shared segment at the
                         // request's full prefix span.
@@ -643,9 +702,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                         state_.kv_pin(pseg);
                         prefix_pinned_[r] = true;
                     }
-                    residuals.push_back(
-                        static_cast<int>(covered > 0 ? len - covered
-                                                     : len));
+                    residuals.push_back(static_cast<int>(residual));
                 } else if (prefix_on_) {
                     residuals.push_back(static_cast<int>(len));
                 }
@@ -664,6 +721,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     kv_charge_stream(prefix_stream);
+    kv_charge_migration(migrate_stall);
     int bucket = pick_bucket(opts_.prefill_buckets,
                              static_cast<int>(members.size()));
     // The claimed prompts share one program: the smallest length
@@ -728,7 +786,11 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     // class (high-priority members keep their class). The KV segment
     // (already sized to the prompt) stays for the decode phase; only
     // the iteration's pins are released (the prefix share is held
-    // until the request completes).
+    // until the request completes). A prefill-only request
+    // (decode_tokens == 0 — the prefill half of a cluster tier split)
+    // completes here instead: its KV ships onward over the
+    // interconnect, so the local segment frees and the prefix share
+    // drops immediately.
     for (int r : members) {
         if (kv_on_ && kv_pinned_[r]) {
             state_.kv_unpin(r);
@@ -739,6 +801,19 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
             prefix_pinned_[r] = false;
         }
         ttfts_.push_back(now_ - requests_[r].arrival);
+        if (tokens_left_[r] == 0) {
+            if (kv_on_) {
+                if (prefix_on_ && prefix_share_[r] >= 0) {
+                    state_.kv_release(prefix_kv_id(prefix_share_[r]));
+                    prefix_share_[r] = -1;
+                }
+                state_.kv_free(r);
+                kv_tokens_[r] = -1;
+            }
+            latencies_[r] = now_ - requests_[r].arrival;
+            ++completed_;
+            continue;
+        }
         (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
             .push_back(r);
     }
@@ -917,8 +992,12 @@ DisaggRun::run()
                         (i == 0 ||
                          req.arrival >= requests_[i - 1].arrival),
                     "Server: requests must be sorted and non-negative");
-        util::check(req.decode_tokens >= 1,
-                    "Server: decode_tokens must be >= 1");
+        util::check(req.decode_tokens >= 1 ||
+                        (req.decode_tokens == 0 &&
+                         req.phase == Phase::kPrefill),
+                    "Server: decode_tokens must be >= 1 (0 is legal "
+                    "only for prefill-phase requests — the prefill "
+                    "half of a cluster tier split)");
         if (req.phase == Phase::kPrefill || kv_on_) {
             util::check(opts_.max_prompt_len >= 1,
                         "Server: prefill-phase requests (and KV "
@@ -942,6 +1021,30 @@ DisaggRun::run()
                         "Server: prefix_len must be in "
                         "[1, prompt_len - 1]");
             max_prefix = std::max(max_prefix, req.prefix_id);
+        }
+        if (req.kv_migrate_tokens != 0 || req.kv_migrate_stall != 0.0) {
+            util::check(kv_on_,
+                        "Server: KV migration (kv_migrate_tokens) "
+                        "needs KV modeling (kv_budget > 0) — the "
+                        "migrated segment lives in the modeled pool");
+            util::check(req.kv_migrate_tokens >= 1 &&
+                            req.kv_migrate_stall >= 0.0,
+                        "Server: a migration must carry >= 1 token "
+                        "and a non-negative stall");
+            if (req.phase == Phase::kPrefill) {
+                util::check(req.prefix_id >= 0 &&
+                                req.kv_migrate_tokens == req.prefix_len,
+                            "Server: a prefill-phase migration "
+                            "imports the request's shared prefix "
+                            "(kv_migrate_tokens == prefix_len)");
+            } else {
+                const int len = req.prompt_len > 0
+                                    ? req.prompt_len
+                                    : opts_.max_prompt_len;
+                util::check(req.kv_migrate_tokens <= len,
+                            "Server: migrated KV cannot exceed the "
+                            "request's context length");
+            }
         }
         tokens_left_[i] = req.decode_tokens;
     }
@@ -1032,6 +1135,13 @@ ArrivalTrace::bursty(int n, double rate_per_s, double burst_factor,
     util::check(rate_per_s > 0, "ArrivalTrace: rate must be positive");
     util::check(burst_factor >= 1.0 && burst_factor < 10.0,
                 "ArrivalTrace: burst factor must be in [1, 10)");
+    if (burst_factor == 1.0) {
+        // Factor 1 collapses both MMPP states to the mean rate; the
+        // process IS Poisson, so delegate for an element-by-element
+        // equal trace (the state-switch crossings below would split
+        // the gap arithmetic and drift the low FP bits otherwise).
+        return poisson(n, rate_per_s, seed);
+    }
     // Two-state MMPP: a burst state at burst_factor x the mean rate,
     // occupied kBurstFrac of the time, and a calm state scaled down so
     // the long-run rate stays rate_per_s (burst_factor < 1/kBurstFrac
@@ -1346,6 +1456,12 @@ ServingReport::summary() const
             << kv_evictions << " evictions, " << kv_refetches
             << " refetches (" << ms(kv_stall) << " ms stalled), "
             << deferred_admissions << " deferred admissions";
+        if (kv_migrations > 0) {
+            out << "\n  kv migration : " << kv_migrations
+                << " transfers / " << kv_migrated_tokens
+                << " tokens in over the interconnect ("
+                << ms(kv_migration_stall) << " ms stalled)";
+        }
     }
     if (prefix_sharing) {
         out << "\n  prefix cache : " << prefix_hits << " hits / "
@@ -1407,6 +1523,9 @@ ServingReport::serialize_bits() const
     append_bits(out, kv_refetches);
     append_bits(out, kv_stall);
     append_bits(out, deferred_admissions);
+    append_bits(out, kv_migrations);
+    append_bits(out, kv_migrated_tokens);
+    append_bits(out, kv_migration_stall);
     // The prefix block stays the trailing suffix of the
     // serialization: the sharing-disabled bit-identity anchor in
     // tests/prefix_test.cc compares everything before it by length.

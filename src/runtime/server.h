@@ -79,9 +79,10 @@ struct ArrivalTrace {
      * sits in a burst state arriving at @p burst_factor x the mean
      * rate; the calm state's rate is scaled down so the long-run mean
      * stays @p rate_per_s. @p burst_factor must be in [1, 10);
-     * 1 degenerates to (a re-drawn) Poisson. Same platform-stable
-     * draw discipline as poisson(), with the state-holding times on
-     * their own domain-separated stream.
+     * 1 degenerates to Poisson exactly — the trace equals
+     * poisson(n, rate_per_s, seed) element-by-element. Same
+     * platform-stable draw discipline as poisson(), with the
+     * state-holding times on their own domain-separated stream.
      */
     static std::vector<double> bursty(int n, double rate_per_s,
                                       double burst_factor,
@@ -108,8 +109,12 @@ struct Request {
     double arrival = 0.0;  ///< seconds; requests must be sorted.
     Phase phase = Phase::kPrefill;
     Priority priority = Priority::kNormal;
-    /// Decode tokens generated after the prefill (>= 1); the request
-    /// completes when the last one is produced.
+    /// Decode tokens generated after the prefill; the request
+    /// completes when the last one is produced. Must be >= 1 for
+    /// decode-phase requests. Prefill-phase requests may carry 0: the
+    /// request completes (and frees its KV) the moment its prompt is
+    /// ingested, never joining the decode class — the prefill half of
+    /// a disaggregated prefill-tier/decode-tier cluster split.
     int decode_tokens = 1;
     /// Prompt tokens the prefill iteration must ingest. 0 (default)
     /// means the full model sequence length
@@ -124,6 +129,20 @@ struct Request {
     /// [1, prompt_len - 1] when prefix_id >= 0 (at least one residual
     /// token always reaches prefill). Ignored when prefix_id < 0.
     int prefix_len = 0;
+    /// Tokens of KV state arriving with this request over the
+    /// cluster's chip-to-chip interconnect (set by the cluster router;
+    /// 0 = none, the default). Requires KV modeling (kv_budget > 0).
+    /// On a decode-phase request the migrated KV replaces the local
+    /// HBM refetch a bare decode arrival would pay; on a prefill-phase
+    /// request it must equal prefix_len — the shared prefix segment is
+    /// imported (seeding the local cache) instead of being re-prefilled.
+    int kv_migrate_tokens = 0;
+    /// Seconds the migration transfer stalls this chip's clock,
+    /// priced by the router's hw::Interconnect at routing time (the
+    /// server stays interconnect-ignorant). Charged like a kv_prepare
+    /// stall when the migration is consumed; a migration skipped
+    /// because the prefix is already cached locally charges nothing.
+    double kv_migrate_stall = 0.0;
 };
 
 /// Helpers to build Request traces from plain arrival times.
@@ -366,6 +385,15 @@ struct ServingReport {
     /// the budget next to the segments already resident
     /// (admission backpressure).
     int deferred_admissions = 0;
+    /// Cross-chip KV migrations consumed: requests whose KV state
+    /// arrived over the cluster interconnect (Request::
+    /// kv_migrate_tokens) instead of streaming from local HBM.
+    int64_t kv_migrations = 0;
+    /// Tokens of KV those migrations carried onto this chip.
+    int64_t kv_migrated_tokens = 0;
+    /// Seconds serving stalled on interconnect KV transfers (disjoint
+    /// from kv_stall, which counts local HBM streams only).
+    double kv_migration_stall = 0.0;
 
     // --- prefix cache (ServerOptions::prefix_sharing; all zero when
     // --- sharing is off) ---

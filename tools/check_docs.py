@@ -16,10 +16,10 @@ Four classes of rot this catches:
  3. Command-line flags the user docs name (`--kv-budget`, `--jobs`,
     ...) that no driver actually parses: every `--flag` token in
     README.md, ROADMAP.md, and docs/*.md must appear as a string
-    literal in tools/*.{cc,py} or bench/*.{cc,h}, except for a small
-    allowlist of external tools' flags (ctest, cmake,
-    google-benchmark). This is what stops the docs from drifting when
-    a driver renames a flag.
+    literal in tools/*.{cc,py}, bench/*.{cc,h}, or examples/*.cc,
+    except for a small allowlist of external tools' flags (ctest,
+    cmake, google-benchmark). This is what stops the docs from
+    drifting when a driver renames a flag.
  4. TODO/FIXME markers inside docs/*.md — user docs must not ship
     construction debris.
 
@@ -93,7 +93,11 @@ def known_flags():
     """Every --flag string literal a driver parses."""
     flags = set()
     sources = []
-    for sub, exts in (("tools", (".cc", ".py")), ("bench", (".cc", ".h"))):
+    for sub, exts in (
+        ("tools", (".cc", ".py")),
+        ("bench", (".cc", ".h")),
+        ("examples", (".cc",)),
+    ):
         directory = os.path.join(REPO, sub)
         if not os.path.isdir(directory):
             continue
@@ -121,7 +125,8 @@ def check_flags(md_path, flags, errors):
             continue
         errors.append(
             f"{rel}: names flag '{flag}' but no driver "
-            "(tools/*.{cc,py}, bench/*.{cc,h}) parses it"
+            "(tools/*.{cc,py}, bench/*.{cc,h}, examples/*.cc) "
+            "parses it"
         )
 
 

@@ -32,6 +32,7 @@
 #include "graph/model_builder.h"
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "runtime/cluster.h"
 #include "runtime/server.h"
 #include "runtime/trace_export.h"
 #include "util/logging.h"
@@ -116,7 +117,26 @@ usage(const char* argv0)
         "  --no-preempt      high-priority arrivals never interrupt a\n"
         "                    running iteration\n"
         "  --no-residency    re-preload weights every iteration\n"
-        "  --cache-keys      list the plan-cache entries after serving\n",
+        "  --cache-keys      list the plan-cache entries after serving\n"
+        "  --replicas N      chip replicas behind the cluster router\n"
+        "                    (default 1 = single-chip serving; > 1\n"
+        "                    routes the trace across N replicas)\n"
+        "  --router P        cluster router policy: rr (round-robin,\n"
+        "                    default), least (least-loaded), or\n"
+        "                    affinity (session-affinity; requires\n"
+        "                    --prefix-pop > 0)\n"
+        "  --interconnect T  chip-to-chip fabric: ring (default) or\n"
+        "                    fullmesh; per-hop latency + per-byte\n"
+        "                    bandwidth priced on KV migrations\n"
+        "  --migrate-kv      migrate shared prefix KV segments across\n"
+        "                    chips over the interconnect instead of\n"
+        "                    re-prefilling per replica (requires\n"
+        "                    --kv-budget > 0 and --prefix-pop > 0)\n"
+        "  --prefill-replicas N\n"
+        "                    dedicate the first N replicas to prompt\n"
+        "                    ingestion, feeding the rest KV over the\n"
+        "                    interconnect (requires --kv-budget > 0\n"
+        "                    and N < --replicas)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -180,6 +200,11 @@ serve_main(int argc, char** argv, const char* argv0)
     bool preempt = true;
     bool residency = true;
     bool cache_keys = false;
+    int replicas = 1;
+    std::string router = "rr";
+    std::string interconnect = "ring";
+    bool migrate_kv = false;
+    int prefill_replicas = 0;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char* flag) {
@@ -248,6 +273,17 @@ serve_main(int argc, char** argv, const char* argv0)
         } else if (const char* v = arg("--burst")) {
             burst = util::parse_double_arg(v, "--burst", 1.0,
                                            10.0 - 1e-9);
+        } else if (const char* v = arg("--replicas")) {
+            replicas = util::parse_int_arg(v, "--replicas", 1, 4096);
+        } else if (const char* v = arg("--router")) {
+            router = v;
+        } else if (const char* v = arg("--interconnect")) {
+            interconnect = v;
+        } else if (const char* v = arg("--prefill-replicas")) {
+            prefill_replicas =
+                util::parse_int_arg(v, "--prefill-replicas", 0, 4096);
+        } else if (std::strcmp(argv[i], "--migrate-kv") == 0) {
+            migrate_kv = true;
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
             preempt = false;
         } else if (std::strcmp(argv[i], "--no-residency") == 0) {
@@ -291,6 +327,26 @@ serve_main(int argc, char** argv, const char* argv0)
     } else {
         util::fatal("unknown residency policy: " + policy);
     }
+    runtime::RouterPolicy router_policy;
+    if (router == "rr") {
+        router_policy = runtime::RouterPolicy::kRoundRobin;
+    } else if (router == "least") {
+        router_policy = runtime::RouterPolicy::kLeastLoaded;
+    } else if (router == "affinity") {
+        router_policy = runtime::RouterPolicy::kSessionAffinity;
+    } else {
+        util::fatal("unknown router policy: " + router +
+                    " (expected 'rr', 'least', or 'affinity')");
+    }
+    hw::InterconnectConfig fabric;
+    if (interconnect == "ring") {
+        fabric.kind = hw::InterconnectKind::kRing;
+    } else if (interconnect == "fullmesh") {
+        fabric.kind = hw::InterconnectKind::kFullMesh;
+    } else {
+        util::fatal("unknown interconnect: " + interconnect +
+                    " (expected 'ring' or 'fullmesh')");
+    }
     // The session/prefix flags are only meaningful with KV modeling
     // on: shared prefixes and per-turn KV reuse live in the modeled
     // KV pool, so serving a session trace at --kv-budget 0 would
@@ -330,7 +386,6 @@ serve_main(int argc, char** argv, const char* argv0)
             : graph::kv_bytes_per_token(
                   graph::model_by_name(model_name));
     sopts.prefix_sharing = prefix_pop > 0;
-    runtime::Server server(sc.machine(), sopts);
     std::vector<runtime::Request> trace;
     if (session_trace) {
         runtime::SessionTraceOptions st;
@@ -394,10 +449,34 @@ serve_main(int argc, char** argv, const char* argv0)
                     static_cast<unsigned long long>(
                         sopts.kv_bytes_per_token));
     }
-    runtime::ServingReport rep = server.serve(
-        trace, [&](int b, int len) { return pc.program(b, len); },
-        [&](int b) { return sc.program(b); });
-    std::printf("%s\n", rep.summary().c_str());
+    auto prefill_programs = [&](int b, int len) {
+        return pc.program(b, len);
+    };
+    auto decode_programs = [&](int b) { return sc.program(b); };
+    if (replicas > 1 || prefill_replicas > 0 || migrate_kv) {
+        runtime::ClusterOptions clopts;
+        clopts.replicas = replicas;
+        clopts.router = router_policy;
+        clopts.server = sopts;
+        clopts.interconnect = fabric;
+        clopts.migrate_kv = migrate_kv;
+        clopts.prefill_replicas = prefill_replicas;
+        runtime::Cluster cluster(sc.machine(), clopts);
+        std::printf("cluster    : %d replicas (%d prefill tier), "
+                    "%s router, %s interconnect, KV migration %s\n",
+                    replicas, prefill_replicas,
+                    runtime::router_policy_name(router_policy).c_str(),
+                    hw::interconnect_name(fabric.kind).c_str(),
+                    migrate_kv ? "on" : "off");
+        runtime::ClusterReport rep =
+            cluster.serve(trace, prefill_programs, decode_programs);
+        std::printf("%s\n", rep.summary().c_str());
+    } else {
+        runtime::Server server(sc.machine(), sopts);
+        runtime::ServingReport rep =
+            server.serve(trace, prefill_programs, decode_programs);
+        std::printf("%s\n", rep.summary().c_str());
+    }
     auto stats = cache.stats();
     std::printf("plan cache : %d entries, %lld hits, %lld misses "
                 "(compile %.2f s total)\n",
