@@ -19,6 +19,10 @@
  *                  shared prefixes, bursty arrivals) with prefix-cache
  *                  KV sharing on under the same budget (refcounted
  *                  shared segments, longest-match, copy-on-extend);
+ *   serve_slo    — the length-skewed trace tagged with 3 tenants and
+ *                  per-request deadlines, served under EDF + 4:2:1
+ *                  fairness shares (the SLO scheduler's sorted-queue
+ *                  and deficit bookkeeping on its hottest path);
  *   serve_cluster— the same session trace routed across 4 chip
  *                  replicas (round-robin, KV migration over a ring
  *                  interconnect): the cluster router plus four full
@@ -322,13 +326,15 @@ main(int argc, char** argv)
         uint64_t kv_budget;  ///< 0 = varlen (no KV modeling).
         bool closed_decode;  ///< serve_modes: plain closed-loop loop.
         bool prefix;         ///< serve_prefix: session trace, sharing.
+        bool slo;            ///< serve_slo: tenant/deadline tagging.
     };
     const uint64_t kv_budget = chip.usable_sram_per_core() / 8;
     const std::vector<ServeSpec> specs = {
-        {"serve_modes", 0, true, false},
-        {"serve_varlen", 0, false, false},
-        {"serve_kv", kv_budget, false, false},
-        {"serve_prefix", kv_budget, false, true},
+        {"serve_modes", 0, true, false, false},
+        {"serve_varlen", 0, false, false, false},
+        {"serve_kv", kv_budget, false, false, false},
+        {"serve_prefix", kv_budget, false, true, false},
+        {"serve_slo", 0, false, false, true},
     };
     struct ServeCellRef {
         int spec;
@@ -371,6 +377,17 @@ main(int argc, char** argv)
                     auto trace = spec.prefix
                                      ? session_trace(/*seed=*/23)
                                      : skewed_trace(/*seed=*/19);
+                    if (spec.slo) {
+                        opts.slo = true;
+                        opts.tenants = 3;
+                        opts.tenant_shares = {4.0, 2.0, 1.0};
+                        runtime::tag_tenants(trace, /*tenants=*/3,
+                                             /*seed=*/29);
+                        // A fixed 50 ms budget (the rate is fixed
+                        // too): misses are expected and fine — the
+                        // harness times the scheduler, not the SLO.
+                        runtime::tag_deadlines(trace, /*slo_s=*/0.05);
+                    }
                     cell.work = static_cast<double>(trace.size());
                     runtime::Server server(decodes[m]->machine(), opts);
                     rep = server.serve(

@@ -37,6 +37,13 @@
  * the same trace, sharing turns repeated prefill into KV residency
  * hits — hit-rate up, mean TTFT and prefill tokens down.
  *
+ * A seventh phase routes the session trace across chip replicas
+ * (phase 7 below); an eighth serves a multi-tenant deadline-tagged
+ * trace under EDF + fairness-share scheduling (docs/TENANCY.md) at a
+ * load sweep spanning overload: SLO attainment degrades gracefully as
+ * the arrival rate crosses capacity, and the per-tenant columns show
+ * the weighted shares holding under contention.
+ *
  * Replica cells of every grid are independent: they fan out over
  * util::ThreadPool (--jobs N / ELK_BENCH_JOBS) into per-cell slots
  * and are printed by a serial scan, so stdout and the CSV are
@@ -575,5 +582,95 @@ main(int argc, char** argv)
         "cluster scale-out on the session trace (router sweep at "
         "1/2/4 replicas, KV migration over a ring interconnect)");
     cl.write_csv("serving_cluster");
+
+    // Phase 8: multi-tenant SLO serving — a three-tenant 4:2:1-share
+    // deadline-tagged prefill trace served per design across a load
+    // sweep that crosses capacity. Phase-1 capacity is decode-only,
+    // so the phase first measures closed-loop *prefill* capacity per
+    // mode (the same all-prefill trace shape with every arrival at
+    // t = 0) and derives both the arrival rates and the deadline
+    // budget (8x the mean per-request completion interval) from it:
+    // every design faces the same *relative* SLO, attainment sits
+    // high below capacity and degrades gracefully — not cliff — into
+    // overload, and the per-tenant columns show the weighted fairness
+    // shares holding while deadline preemptions rescue urgent
+    // stragglers.
+    std::vector<runtime::ServingReport> pre_closed(modes.size());
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(modes.size()), [&](int m) {
+            auto trace = runtime::make_request_trace(
+                runtime::ArrivalTrace::closed_loop(requests), tokens,
+                /*prefill_frac=*/1.0, /*high_frac=*/0.0, /*seed=*/29);
+            runtime::ServerOptions copts = sopts;
+            copts.max_prefill_batch = prefill_batch;
+            copts.max_prompt_len = seq;
+            runtime::Server server(compilers[m]->machine(), copts);
+            pre_closed[m] = server.serve(
+                trace,
+                [&](int b, int len) {
+                    return prefills[m]->program(b, len);
+                },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    const std::vector<double> slo_loads = {0.7, 1.0, 1.5};
+    const std::vector<double> slo_shares = {4.0, 2.0, 1.0};
+    struct SloCell {
+        int mode;
+        double load;
+        runtime::ServingReport rep;
+    };
+    std::vector<SloCell> scells;
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (double load : slo_loads) {
+            scells.push_back({static_cast<int>(m), load, {}});
+        }
+    }
+    util::ThreadPool::run(
+        pool.get(), static_cast<int>(scells.size()), [&](int c) {
+            int m = scells[c].mode;
+            double cap = pre_closed[m].tokens_per_s / tokens;
+            double rate = scells[c].load * cap;
+            auto trace = runtime::make_request_trace(
+                runtime::ArrivalTrace::poisson(requests, rate,
+                                               /*seed=*/29),
+                tokens, /*prefill_frac=*/1.0, /*high_frac=*/0.0,
+                /*seed=*/29);
+            runtime::tag_tenants(trace, /*tenants=*/3, /*seed=*/29);
+            runtime::tag_deadlines(trace, 8.0 / cap);
+            runtime::ServerOptions slopts = sopts;
+            slopts.max_prefill_batch = prefill_batch;
+            slopts.max_prompt_len = seq;
+            slopts.slo = true;
+            slopts.tenants = 3;
+            slopts.tenant_shares = slo_shares;
+            runtime::Server server(compilers[m]->machine(), slopts);
+            scells[c].rep = server.serve(
+                trace,
+                [&](int b, int len) {
+                    return prefills[m]->program(b, len);
+                },
+                [&](int b) { return compilers[m]->program(b); });
+        });
+
+    util::Table slo({"design", "load", "slo%", "missed",
+                     "late p99(ms)", "t0 slo%", "t1 slo%", "t2 slo%",
+                     "dl_preempts", "windows", "digest"});
+    for (const SloCell& cell : scells) {
+        slo.add(compilers[cell.mode]->mode(), cell.load,
+                runtime::pct(cell.rep.slo_attainment),
+                cell.rep.deadline_misses,
+                runtime::ms(cell.rep.p99_lateness),
+                runtime::pct(cell.rep.tenant_shares[0].attainment),
+                runtime::pct(cell.rep.tenant_shares[1].attainment),
+                runtime::pct(cell.rep.tenant_shares[2].attainment),
+                cell.rep.deadline_preemptions,
+                cell.rep.fairness_windows, digest(cell.rep));
+    }
+    slo.print(
+        "multi-tenant SLO serving (3 tenants, shares 4:2:1, deadline "
+        "8x the closed-loop prefill completion interval; load sweep "
+        "across prefill capacity)");
+    slo.write_csv("serving_slo");
     return 0;
 }

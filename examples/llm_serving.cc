@@ -12,10 +12,12 @@
  *
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
  *                   [prefill_frac] [high_frac] [prompt_mean] \
- *                   [kv_budget_kb] [prefix_pop] [turns] [replicas]
+ *                   [kv_budget_kb] [prefix_pop] [turns] [replicas] \
+ *                   [tenants] [slo_s]
  *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256 2048
  *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3
  *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3 4
+ *   $ ./llm_serving Llama2-13B 32 2048 64 40 4 0.5 0 256 0 0 1 1 3 0.5
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
@@ -41,6 +43,11 @@
  * round-robin otherwise) and prints the cluster roll-up per design —
  * goodput, per-replica token skew, interconnect traffic
  * (docs/CLUSTER.md).
+ * tenants / slo_s (defaults 1 / 0) switch on multi-tenant SLO
+ * scheduling (docs/TENANCY.md): requests are tagged across `tenants`
+ * seeded tenants served EDF under equal fairness shares, each with a
+ * deadline of arrival + slo_s seconds when slo_s > 0, and the tables
+ * grow SLO-attainment / deadline-miss / p99-lateness columns.
  */
 #include <cstdio>
 #include <string>
@@ -102,6 +109,15 @@ main(int argc, char** argv)
         argc > 13
             ? util::parse_int_arg(argv[13], "replicas", 1, 4096)
             : 1;
+    int tenants =
+        argc > 14
+            ? util::parse_int_arg(argv[14], "tenants", 1, 1 << 20)
+            : 1;
+    double slo_s =
+        argc > 15
+            ? util::parse_double_arg(argv[15], "slo_s", 0.0, 1e9)
+            : 0.0;
+    const bool slo_serving = tenants > 1 || slo_s > 0.0;
     const bool session_trace = prefix_pop > 0 || turns > 1.0;
     if (session_trace && kv_budget_kb == 0) {
         util::fatal(
@@ -139,6 +155,12 @@ main(int argc, char** argv)
                                         /*seed=*/42);
         }
     }
+    if (slo_serving) {
+        runtime::tag_tenants(trace, tenants, /*seed=*/42);
+        if (slo_s > 0.0) {
+            runtime::tag_deadlines(trace, slo_s);
+        }
+    }
     std::printf("Serving %s, batch %d, seq %d on %d cores / %.0f TB/s "
                 "HBM\n",
                 name.c_str(), batch, seq, chip.total_cores(),
@@ -170,6 +192,17 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(
                         graph::kv_bytes_per_token(model)));
     }
+    if (slo_serving) {
+        if (slo_s > 0.0) {
+            std::printf("slo serving : %d tenants (equal shares), "
+                        "deadline arrival + %g s\n",
+                        tenants, slo_s);
+        } else {
+            std::printf("slo serving : %d tenants (equal shares), "
+                        "no deadlines\n",
+                        tenants);
+        }
+    }
 
     compiler::PlanCache cache;
     if (replicas > 1) {
@@ -185,7 +218,8 @@ main(int argc, char** argv)
                     affinity ? "on" : "off");
         util::Table table({"design", "tokens/s", "skew", "mean(ms)",
                            "max(ms)", "ttft(ms)", "migr",
-                           "wire(KB)", "stall(ms)"});
+                           "wire(KB)", "stall(ms)", "slo%",
+                           "missed"});
         for (auto mode :
              {compiler::Mode::kBasic, compiler::Mode::kStatic,
               compiler::Mode::kElkDyn, compiler::Mode::kElkFull,
@@ -211,6 +245,8 @@ main(int argc, char** argv)
             clopts.server.kv_bytes_per_token =
                 graph::kv_bytes_per_token(model);
             clopts.server.prefix_sharing = prefix_pop > 0;
+            clopts.server.slo = slo_serving;
+            clopts.server.tenants = tenants;
             runtime::Cluster cluster(sc.machine(), clopts);
             runtime::ClusterReport rep = cluster.serve(
                 trace,
@@ -221,7 +257,11 @@ main(int argc, char** argv)
                       runtime::ms(rep.max_latency),
                       runtime::ms(rep.mean_ttft), rep.kv_migrations,
                       rep.interconnect_bytes / 1024,
-                      runtime::ms(rep.kv_migration_stall));
+                      runtime::ms(rep.kv_migration_stall),
+                      rep.slo ? runtime::pct(rep.slo_attainment)
+                              : std::string("-"),
+                      rep.slo ? std::to_string(rep.deadline_misses)
+                              : std::string("-"));
         }
         table.print("cluster goodput / balance per design");
     } else {
@@ -229,7 +269,8 @@ main(int argc, char** argv)
                        "ttft p95(ms)", "tokens/s", "hbm_util", "queue",
                        "preempts", "padded_tok", "kv_peak(KB)",
                        "deferred", "pfx_hits", "saved_tok",
-                       "preload first(ms)", "steady(ms)"});
+                       "preload first(ms)", "steady(ms)", "slo%",
+                       "missed", "late p99(ms)"});
 
     for (auto mode :
          {compiler::Mode::kBasic, compiler::Mode::kStatic,
@@ -248,6 +289,8 @@ main(int argc, char** argv)
         sopts.kv_budget = static_cast<uint64_t>(kv_budget_kb) * 1024;
         sopts.kv_bytes_per_token = graph::kv_bytes_per_token(model);
         sopts.prefix_sharing = prefix_pop > 0;
+        sopts.slo = slo_serving;
+        sopts.tenants = tenants;
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
             trace, [&](int b, int len) { return pc.program(b, len); },
@@ -264,7 +307,13 @@ main(int argc, char** argv)
                   rep.prefix_hits,
                   rep.prefill_tokens_saved,
                   runtime::ms(rep.first_decode_preload),
-                  runtime::ms(rep.steady_decode_preload));
+                  runtime::ms(rep.steady_decode_preload),
+                  rep.slo ? runtime::pct(rep.slo_attainment)
+                          : std::string("-"),
+                  rep.slo ? std::to_string(rep.deadline_misses)
+                          : std::string("-"),
+                  rep.slo ? runtime::ms(rep.p99_lateness)
+                          : std::string("-"));
     }
     table.print("serving tail latency / goodput per design");
     }

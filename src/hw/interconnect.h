@@ -36,8 +36,10 @@ enum class InterconnectKind {
 /// Human-readable name of an interconnect kind.
 std::string interconnect_name(InterconnectKind kind);
 
-/// Knobs of the chip-to-chip fabric.
+/// Knobs of the chip-to-chip fabric. Validated by the Interconnect
+/// constructor: a negative bandwidth or latency is a worded fatal.
 struct InterconnectConfig {
+    /// Wiring between the chips (`elkc serve --interconnect`).
     InterconnectKind kind = InterconnectKind::kRing;
     /// Per-link bandwidth in bytes/s. 0 (default) resolves to the
     /// chip's ChipConfig::inter_chip_bw (IPU-POD4 §5: 640 GB/s).

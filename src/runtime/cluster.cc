@@ -239,6 +239,12 @@ Cluster::route_into(const std::vector<Request>& requests,
             pre_half.decode_tokens = 0;
             pre_half.kv_migrate_tokens = 0;
             pre_half.kv_migrate_stall = 0.0;
+            // The deadline rides the decode half only: the request
+            // meets its SLO when the last token lands, and counting
+            // the prefill half too would double-book one logical
+            // deadline. Both halves keep the tenant — prefill work is
+            // real work against its fairness share.
+            pre_half.deadline_s = 0.0;
             const int pi = pick(pre_tier, r.arrival, r.prefix_id, len);
             tag_prefix(pre_half, pi);
             sub[pi].push_back(pre_half);
@@ -341,6 +347,49 @@ Cluster::serve(const std::vector<Request>& requests,
     rep.interconnect_bytes =
         rep.kv_migrated_tokens *
         static_cast<int64_t>(opts_.server.kv_bytes_per_token);
+    if (opts_.server.slo) {
+        rep.slo = true;
+        rep.tenant_shares.resize(opts_.server.tenants);
+        int64_t total_work = 0;
+        for (int i = 0; i < n; ++i) {
+            const ServingReport& r = rep.replica_reports[i];
+            rep.deadline_requests += r.deadline_requests;
+            rep.deadline_misses += r.deadline_misses;
+            rep.worst_p99_lateness =
+                std::max(rep.worst_p99_lateness, r.p99_lateness);
+            rep.deadline_preemptions += r.deadline_preemptions;
+            for (const ServingReport::TenantShare& s :
+                 r.tenant_shares) {
+                ServingReport::TenantShare& c =
+                    rep.tenant_shares[s.tenant];
+                c.tenant = s.tenant;
+                c.requests += s.requests;
+                c.tokens += s.tokens;
+                c.deadline_requests += s.deadline_requests;
+                c.deadline_misses += s.deadline_misses;
+                total_work += s.tokens;
+            }
+        }
+        for (ServingReport::TenantShare& c : rep.tenant_shares) {
+            c.token_share =
+                total_work > 0
+                    ? static_cast<double>(c.tokens) /
+                          static_cast<double>(total_work)
+                    : 0.0;
+            c.attainment =
+                c.deadline_requests > 0
+                    ? static_cast<double>(c.deadline_requests -
+                                          c.deadline_misses) /
+                          static_cast<double>(c.deadline_requests)
+                    : 1.0;
+        }
+        rep.slo_attainment =
+            rep.deadline_requests > 0
+                ? static_cast<double>(rep.deadline_requests -
+                                      rep.deadline_misses) /
+                      static_cast<double>(rep.deadline_requests)
+                : 1.0;
+    }
     return rep;
 }
 
@@ -360,6 +409,21 @@ ClusterReport::summary() const
             << " KV migrations / " << kv_migrated_tokens << " tokens / "
             << interconnect_bytes / 1024 << " KB ("
             << ms(kv_migration_stall) << " ms stalled)";
+    }
+    if (slo) {
+        out << "\n  slo          : "
+            << (deadline_requests - deadline_misses) << "/"
+            << deadline_requests << " deadlines met ("
+            << pct(slo_attainment) << " attainment), worst p99 "
+            << "lateness " << ms(worst_p99_lateness) << " ms, "
+            << deadline_preemptions << " deadline preemptions";
+        for (const ServingReport::TenantShare& t : tenant_shares) {
+            out << "\n  tenant " << t.tenant << "     : " << t.requests
+                << " requests, " << t.tokens << " tokens ("
+                << pct(t.token_share) << " share), attainment "
+                << pct(t.attainment) << " (" << t.deadline_misses
+                << " missed)";
+        }
     }
     for (size_t i = 0; i < replica_reports.size(); ++i) {
         const ServingReport& r = replica_reports[i];
@@ -395,6 +459,24 @@ ClusterReport::serialize_bits() const
     }
     for (const ServingReport& r : replica_reports) {
         out += r.serialize_bits();
+    }
+    // The SLO roll-up trails the replica reports, mirroring the
+    // trailing-block convention of ServingReport::serialize_bits().
+    append_bits(out, static_cast<uint8_t>(slo ? 1 : 0));
+    append_bits(out, deadline_requests);
+    append_bits(out, deadline_misses);
+    append_bits(out, slo_attainment);
+    append_bits(out, worst_p99_lateness);
+    append_bits(out, deadline_preemptions);
+    append_bits(out, static_cast<int>(tenant_shares.size()));
+    for (const ServingReport::TenantShare& t : tenant_shares) {
+        append_bits(out, t.tenant);
+        append_bits(out, t.requests);
+        append_bits(out, t.tokens);
+        append_bits(out, t.token_share);
+        append_bits(out, t.deadline_requests);
+        append_bits(out, t.deadline_misses);
+        append_bits(out, t.attainment);
     }
     return out;
 }

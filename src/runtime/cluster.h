@@ -46,7 +46,11 @@
  * tokens decode on the other, KV flows over the wire. The split is a
  * fluid approximation: the decode half keeps the original arrival
  * time (its migration stall prices the transfer, but cross-tier
- * completion ordering is not enforced).
+ * completion ordering is not enforced). With SLO serving
+ * (ServerOptions::slo, docs/TENANCY.md) both halves bill the
+ * request's tenant, but only the decode half keeps the deadline — a
+ * request meets its SLO when its last token lands, so counting the
+ * prefill half too would double-book one logical deadline.
  */
 #ifndef ELK_RUNTIME_CLUSTER_H
 #define ELK_RUNTIME_CLUSTER_H
@@ -125,6 +129,20 @@ struct ClusterReport {
     int64_t kv_migrations = 0;
     int64_t kv_migrated_tokens = 0;
     double kv_migration_stall = 0.0;
+    /// SLO roll-up (present when the replicas run ServerOptions::slo):
+    /// deadline carriers and misses summed across replicas, the worst
+    /// replica's p99 lateness (an SLO is only as good as the slowest
+    /// chip), and the per-tenant shares re-aggregated cluster-wide
+    /// (token_share over cluster work, attainment over cluster
+    /// carriers). See docs/TENANCY.md.
+    bool slo = false;
+    int deadline_requests = 0;
+    int deadline_misses = 0;
+    /// (met deadlines) / (deadline carriers); 1 with no carriers.
+    double slo_attainment = 0.0;
+    double worst_p99_lateness = 0.0;
+    int deadline_preemptions = 0;
+    std::vector<ServingReport::TenantShare> tenant_shares;
     /// Requests routed to each replica.
     std::vector<int> routed_per_replica;
     /// The full single-chip report of every replica, in replica order.

@@ -74,6 +74,20 @@ engine_options(const ServerOptions& opts)
  * this loop performs exactly the PR 2 sequence of engine and
  * accumulator operations, so its report is bit-identical to the plain
  * serve() overload — asserted in tests/preempt_test.cc.
+ *
+ * With ServerOptions::slo the same queues order earliest-deadline-
+ * first (ties on request id — queue_insert keeps them sorted, so
+ * every claim site below reads EDF order for free), claims consult a
+ * per-tenant deficit-round-robin token budget (replenish() opens a
+ * fairness window whenever work waits but nothing is claimable, so
+ * the scheduler stays work-conserving), and an urgent deadline
+ * arrival can trigger the same park/resume preemption as a
+ * high-priority one, bounded by the triggering request's
+ * preempt_budget. Every slo branch is guarded by slo_on_, and with
+ * slo on over a single-tenant no-deadline trace the EDF order
+ * degenerates to FIFO and the replenish loop always fills the batch —
+ * the same claims, the same engine ops, bit-identical to slo off
+ * (asserted in tests/slo_test.cc).
  */
 class DisaggRun {
   public:
@@ -111,14 +125,60 @@ class DisaggRun {
                dec_lo_.size();
     }
 
+    /// Which waiting requests a claim may take.
+    enum class ClaimMode {
+        kAll,       ///< both classes (normal scheduling).
+        kHighOnly,  ///< high-priority queue only (PR 3 preemption).
+        /// High-priority members plus deadline carriers more urgent
+        /// than urgent_thresh_ (deadline-triggered preemption).
+        kUrgent,
+    };
+
     /// Queues every request that has arrived by the current clock.
     void admit();
-    /// Arrival time of the next unadmitted high-priority request.
+    /// Arrival time of the next unadmitted preemption watcher: a
+    /// high-priority request, or (slo with a preemption budget) any
+    /// deadline carrier.
     void refresh_next_high();
+    /// A request's deadline with 0 = "none" mapped to +inf, so EDF
+    /// comparisons need no special case.
+    double effective_deadline(int r) const
+    {
+        const double d = requests_[r].deadline_s;
+        return d > 0.0 ? d : kInf;
+    }
+    /// Strict EDF order: (effective deadline, request id) — a total
+    /// order, so every tie is broken deterministically.
+    bool edf_before(int a, int b) const
+    {
+        const double da = effective_deadline(a);
+        const double db = effective_deadline(b);
+        return da != db ? da < db : a < b;
+    }
+    /// Appends @p r to @p q (slo off) or insert-sorts it EDF (slo on),
+    /// so queue order IS claim order in both schedulers.
+    void queue_insert(std::deque<int>& q, int r);
+    /// Whether @p mode lets @p r into the claimed batch.
+    bool claim_eligible(int r, ClaimMode mode) const;
+    /// Opens one fairness window: every tenant's deficit gains its
+    /// quantum, capped at one quantum of saved-up credit (a long-idle
+    /// tenant cannot hoard windows; a tenant in debt climbs out one
+    /// window at a time).
+    void replenish();
     /// Claims up to @p cap members from @p hi (then @p lo, unless
-    /// high_only) in queue order, appending to @p members.
+    /// kHighOnly) in queue order, appending to @p members. With slo
+    /// the queue order is EDF and a member's tenant must hold positive
+    /// deficit; windows replenish while slots stay unfilled and
+    /// eligible work waits, so the claim is work-conserving.
     void claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
-               bool high_only, std::vector<int>& members);
+               ClaimMode mode, std::vector<int>& members);
+    /// Most urgent queued deadline carrier (EDF order) that beats
+    /// @p thresh and still holds trigger budget; -1 when none.
+    /// @p prefill reports whether it waits in a prefill queue.
+    int urgent_trigger(double thresh, bool* prefill) const;
+    /// Completion bookkeeping shared by every completion site:
+    /// latency, and (slo) deadline lateness and per-tenant misses.
+    void record_completion(int r);
     /// Borrows an empty member-list from the scratch pool (capacity
     /// retained from earlier iterations). Pool discipline instead of
     /// one shared buffer because a preemption nests a second
@@ -137,12 +197,13 @@ class DisaggRun {
     /// a preemption iteration, which must not size the residency
     /// budget — its working set (a mini batch) is not representative.
     void account(const IterOutcome& o, bool decode, bool nested);
-    void run_prefill_iteration(bool high_only, bool interruptible,
+    void run_prefill_iteration(ClaimMode mode, bool interruptible,
                                bool force_admit = false);
     void run_decode_iteration(bool interruptible);
-    /// Nested decode iteration for high-priority requests only, while
-    /// the preempted victim is parked.
-    void run_decode_mini_high();
+    /// Nested decode iteration while the preempted victim is parked:
+    /// high-priority members only (kHighOnly), or also deadline
+    /// carriers beating the victim's bar (kUrgent).
+    void run_decode_mini(ClaimMode mode);
     void finalize();
 
     /// A request's prompt length with the 0 = "full model sequence
@@ -281,6 +342,38 @@ class DisaggRun {
     std::vector<int> prefix_share_;
     /// Per request: this run holds a kv_pin on its shared prefix.
     std::vector<bool> prefix_pinned_;
+
+    /// SLO scheduling on (ServerOptions::slo). Every member below is
+    /// inert while this is false — the bit-identity guard.
+    bool slo_on_ = false;
+    /// Whether refresh_next_high() also watches deadline carriers:
+    /// slo_on_ with a positive preemption budget.
+    bool watch_deadlines_ = false;
+    /// Per tenant: deficit-round-robin token credit. A claim needs
+    /// positive deficit; execution charges actual tokens, so a large
+    /// prompt can push a tenant into debt it repays over windows.
+    std::vector<double> deficit_;
+    /// Per tenant: tokens granted per fairness window (shares scaled
+    /// to fairness_tokens).
+    std::vector<double> quantum_;
+    /// Per tenant: work tokens executed (prompt residuals + decode).
+    std::vector<int64_t> tenant_tokens_;
+    std::vector<int> tenant_requests_;
+    std::vector<int> tenant_deadline_reqs_;
+    std::vector<int> tenant_deadline_miss_;
+    /// Per-completion lateness (>= 0 seconds), deadline carriers only.
+    std::vector<double> latenesses_;
+    /// Per request: deadline preemptions it may still trigger.
+    std::vector<int> preempt_left_;
+    int64_t fairness_windows_ = 0;
+    int deadline_preemptions_ = 0;
+    /// Min effective deadline across the currently executing
+    /// iteration's members (kInf when none carry one) — the bar an
+    /// urgent arrival must beat to preempt it.
+    double iter_min_deadline_ = kInf;
+    /// Deadline a kUrgent claim must beat to ride along (set to the
+    /// preempted victim's min deadline for the nested iteration).
+    double urgent_thresh_ = kInf;
 };
 
 void
@@ -292,11 +385,11 @@ DisaggRun::admit()
         int r = next_arrival_++;
         const Request& req = requests_[r];
         if (req.phase == Phase::kPrefill) {
-            (req.priority == Priority::kHigh ? pre_hi_ : pre_lo_)
-                .push_back(r);
+            queue_insert(
+                req.priority == Priority::kHigh ? pre_hi_ : pre_lo_, r);
         } else {
-            (req.priority == Priority::kHigh ? dec_hi_ : dec_lo_)
-                .push_back(r);
+            queue_insert(
+                req.priority == Priority::kHigh ? dec_hi_ : dec_lo_, r);
         }
     }
     refresh_next_high();
@@ -311,7 +404,9 @@ DisaggRun::refresh_next_high()
         next_high_idx_ = next_arrival_;
     }
     while (next_high_idx_ < total_requests() &&
-           requests_[next_high_idx_].priority != Priority::kHigh) {
+           requests_[next_high_idx_].priority != Priority::kHigh &&
+           !(watch_deadlines_ &&
+             requests_[next_high_idx_].deadline_s > 0.0)) {
         ++next_high_idx_;
     }
     next_high_arrival_ = next_high_idx_ < total_requests()
@@ -320,17 +415,150 @@ DisaggRun::refresh_next_high()
 }
 
 void
-DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
-                 bool high_only, std::vector<int>& members)
+DisaggRun::queue_insert(std::deque<int>& q, int r)
 {
-    while (!hi.empty() && static_cast<int>(members.size()) < cap) {
-        members.push_back(hi.front());
-        hi.pop_front();
+    if (!slo_on_) {
+        q.push_back(r);
+        return;
     }
-    if (!high_only) {
-        while (!lo.empty() && static_cast<int>(members.size()) < cap) {
-            members.push_back(lo.front());
-            lo.pop_front();
+    q.insert(std::upper_bound(q.begin(), q.end(), r,
+                              [this](int a, int b) {
+                                  return edf_before(a, b);
+                              }),
+             r);
+}
+
+bool
+DisaggRun::claim_eligible(int r, ClaimMode mode) const
+{
+    switch (mode) {
+    case ClaimMode::kAll:
+        return true;
+    case ClaimMode::kHighOnly:
+        return requests_[r].priority == Priority::kHigh;
+    case ClaimMode::kUrgent:
+        return requests_[r].priority == Priority::kHigh ||
+               (requests_[r].deadline_s > 0.0 &&
+                requests_[r].deadline_s < urgent_thresh_);
+    }
+    return false;
+}
+
+void
+DisaggRun::replenish()
+{
+    ++fairness_windows_;
+    const int t = static_cast<int>(quantum_.size());
+    for (int i = 0; i < t; ++i) {
+        deficit_[i] = std::min(deficit_[i] + quantum_[i], quantum_[i]);
+    }
+}
+
+void
+DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
+                 ClaimMode mode, std::vector<int>& members)
+{
+    if (!slo_on_) {
+        while (!hi.empty() && static_cast<int>(members.size()) < cap) {
+            members.push_back(hi.front());
+            hi.pop_front();
+        }
+        if (mode != ClaimMode::kHighOnly) {
+            while (!lo.empty() &&
+                   static_cast<int>(members.size()) < cap) {
+                members.push_back(lo.front());
+                lo.pop_front();
+            }
+        }
+        return;
+    }
+    // EDF + deficit-round-robin. A pass walks a queue in EDF order
+    // claiming eligible members whose tenant holds positive deficit;
+    // when slots remain and eligible work waits but nothing was
+    // claimable, a fairness window replenishes every deficit and the
+    // pass repeats — work-conserving: shares decide claim ORDER under
+    // contention, they never idle the chip.
+    auto pass = [&](std::deque<int>& q) {
+        for (auto it = q.begin();
+             it != q.end() && static_cast<int>(members.size()) < cap;) {
+            const int r = *it;
+            if (claim_eligible(r, mode) &&
+                deficit_[requests_[r].tenant] > 0.0) {
+                members.push_back(r);
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+    auto eligible_waiting = [&](const std::deque<int>& q) {
+        for (int r : q) {
+            if (claim_eligible(r, mode)) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (;;) {
+        const size_t before = members.size();
+        pass(hi);
+        if (mode != ClaimMode::kHighOnly) {
+            pass(lo);
+        }
+        if (static_cast<int>(members.size()) >= cap) {
+            break;
+        }
+        const bool waiting =
+            eligible_waiting(hi) ||
+            (mode != ClaimMode::kHighOnly && eligible_waiting(lo));
+        if (!waiting) {
+            break;
+        }
+        // Slots free, eligible work blocked on deficit alone: open a
+        // window. Progress is guaranteed — a window with no claim
+        // means every eligible tenant sits at a full (positive)
+        // quantum, so the next pass claims at least one.
+        if (members.size() == before) {
+            replenish();
+        }
+    }
+}
+
+int
+DisaggRun::urgent_trigger(double thresh, bool* prefill) const
+{
+    int best = -1;
+    bool best_pre = false;
+    auto scan = [&](const std::deque<int>& q, bool pre) {
+        for (int r : q) {
+            const double d = requests_[r].deadline_s;
+            if (d <= 0.0 || d >= thresh || preempt_left_[r] <= 0) {
+                continue;
+            }
+            if (best < 0 || edf_before(r, best)) {
+                best = r;
+                best_pre = pre;
+            }
+        }
+    };
+    scan(pre_hi_, true);
+    scan(pre_lo_, true);
+    scan(dec_hi_, false);
+    scan(dec_lo_, false);
+    *prefill = best_pre;
+    return best;
+}
+
+void
+DisaggRun::record_completion(int r)
+{
+    latencies_[r] = now_ - requests_[r].arrival;
+    ++completed_;
+    if (slo_on_ && requests_[r].deadline_s > 0.0) {
+        const double late = now_ - requests_[r].deadline_s;
+        latenesses_.push_back(std::max(0.0, late));
+        if (late > 0.0) {
+            ++tenant_deadline_miss_[requests_[r].tenant];
         }
     }
 }
@@ -545,20 +773,52 @@ DisaggRun::preempt_for_high()
     sim::EngineState::Parked parked = state_.park();
     const double park_t = state_.now();
     now_ = park_t;
-    admit();  // the triggering high-priority request joins its queue
+    admit();  // the triggering request joins its queue
+    // The nested iteration overwrites iter_min_deadline_ /
+    // urgent_thresh_; both belong to the parked victim, so save and
+    // restore them around the branch (the victim's own watcher keeps
+    // firing after resume).
+    const double victim_min = iter_min_deadline_;
+    const double saved_thresh = urgent_thresh_;
     if (!pre_hi_.empty()) {
         ++rep_.preemptions;
         // A high-priority prompt jumps KV backpressure too: its
         // segment is force-admitted (spilling unpinned segments, or
         // born spilled) rather than deferred — preemption exists to
         // cut its latency, and the spill cost is now modeled.
-        run_prefill_iteration(/*high_only=*/true,
+        run_prefill_iteration(ClaimMode::kHighOnly,
                               /*interruptible=*/false,
                               /*force_admit=*/kv_on_);
     } else if (!dec_hi_.empty()) {
         ++rep_.preemptions;
-        run_decode_mini_high();
+        run_decode_mini(ClaimMode::kHighOnly);
+    } else if (slo_on_) {
+        // No high-priority work: a deadline carrier may still have
+        // tripped the watcher. It preempts only when it is more
+        // urgent than every member of the running iteration AND still
+        // holds trigger budget; riders sharing the nested iteration
+        // are free (only the trigger pays).
+        bool trig_pre = false;
+        const int trig = urgent_trigger(victim_min, &trig_pre);
+        if (trig >= 0) {
+            --preempt_left_[trig];
+            ++rep_.preemptions;
+            ++deadline_preemptions_;
+            urgent_thresh_ = victim_min;
+            if (trig_pre) {
+                run_prefill_iteration(ClaimMode::kUrgent,
+                                      /*interruptible=*/false,
+                                      /*force_admit=*/kv_on_);
+            } else {
+                run_decode_mini(ClaimMode::kUrgent);
+            }
+        }
+        // A watcher trip with no trigger is a harmless exact
+        // park/resume: no iteration ran, the engine clock is where
+        // park() left it.
     }
+    iter_min_deadline_ = victim_min;
+    urgent_thresh_ = saved_thresh;
     state_.resume(std::move(parked));
     return state_.now() - park_t;
 }
@@ -602,7 +862,7 @@ DisaggRun::account(const IterOutcome& o, bool decode, bool nested)
 }
 
 void
-DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
+DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
                                  bool force_admit)
 {
     std::vector<int> members = acquire_scratch();
@@ -613,7 +873,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     int64_t prefix_stream = 0;  ///< spilled-prefix tokens fetched back.
     double migrate_stall = 0.0;  ///< router-priced interconnect stalls.
     if (!kv_on_) {
-        claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, high_only,
+        claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, mode,
               members);
     } else {
         // KV-gated claiming: members are taken in the usual order
@@ -636,10 +896,22 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
         // priced like any KV refetch.
         bool deferred = false;
         auto take = [&](std::deque<int>& q) {
-            while (!q.empty() && !deferred &&
-                   static_cast<int>(members.size()) <
-                       opts_.max_prefill_batch) {
-                int r = q.front();
+            for (auto it = q.begin();
+                 it != q.end() && !deferred &&
+                 static_cast<int>(members.size()) <
+                     opts_.max_prefill_batch;) {
+                int r = *it;
+                // SLO gating mirrors claim(): skip members the mode
+                // excludes or whose tenant is out of deficit — the
+                // KV-fit rule below applies to claimable prompts
+                // only. Inert while slo is off (every request is
+                // eligible and no deficit exists), so the walk is the
+                // original front-pop.
+                if (slo_on_ && (!claim_eligible(r, mode) ||
+                                deficit_[requests_[r].tenant] <= 0.0)) {
+                    ++it;
+                    continue;
+                }
                 const int64_t len = effective_prompt_len(r);
                 const uint64_t bytes = prompt_kv_need(r);
                 bool oversized = bytes > opts_.kv_budget;
@@ -649,7 +921,7 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                     ++rep_.deferred_admissions;
                     break;
                 }
-                q.pop_front();
+                it = q.erase(it);
                 members.push_back(r);
                 int64_t tail = len;
                 if (prefix_on_ && requests_[r].prefix_id >= 0) {
@@ -713,9 +985,35 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                 }
             }
         };
-        take(pre_hi_);
-        if (!high_only && !deferred) {
-            take(pre_lo_);
+        auto take_all = [&] {
+            take(pre_hi_);
+            if (mode != ClaimMode::kHighOnly && !deferred) {
+                take(pre_lo_);
+            }
+        };
+        take_all();
+        if (slo_on_) {
+            // Work-conserving fairness, mirroring claim(): while batch
+            // slots stay open, nothing deferred on KV, and eligible
+            // prompts wait blocked on deficit alone, open a window and
+            // take again.
+            auto eligible_waiting = [&](const std::deque<int>& q) {
+                for (int r : q) {
+                    if (claim_eligible(r, mode)) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            while (!deferred &&
+                   static_cast<int>(members.size()) <
+                       opts_.max_prefill_batch &&
+                   (eligible_waiting(pre_hi_) ||
+                    (mode != ClaimMode::kHighOnly &&
+                     eligible_waiting(pre_lo_)))) {
+                replenish();
+                take_all();
+            }
         }
     }
     rep_.peak_queue_depth = std::max(
@@ -739,6 +1037,14 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
         need_len = std::max(need_len, res);
         need_len_full = std::max(need_len_full, len);
         actual_tokens += res;
+        if (slo_on_) {
+            // Fairness charges actual ingested work: a long prompt
+            // can push its tenant into deficit debt repaid over the
+            // following windows.
+            const int t = requests_[members[i]].tenant;
+            tenant_tokens_[t] += res;
+            deficit_[t] -= static_cast<double>(res);
+        }
     }
     int len_bucket = pick_bucket(opts_.prompt_buckets, need_len);
     if (prefix_on_) {
@@ -776,11 +1082,16 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
     }
 
     bool protected_iter = false;
+    iter_min_deadline_ = kInf;
     for (int r : members) {
         protected_iter |= requests_[r].priority == Priority::kHigh;
+        if (slo_on_) {
+            iter_min_deadline_ =
+                std::min(iter_min_deadline_, effective_deadline(r));
+        }
     }
     IterOutcome o = execute(*program, interruptible && !protected_iter);
-    account(o, /*decode=*/false, /*nested=*/high_only);
+    account(o, /*decode=*/false, /*nested=*/mode != ClaimMode::kAll);
 
     // Prompt ingested: record TTFT and hand the request to the decode
     // class (high-priority members keep their class). The KV segment
@@ -810,12 +1121,12 @@ DisaggRun::run_prefill_iteration(bool high_only, bool interruptible,
                 state_.kv_free(r);
                 kv_tokens_[r] = -1;
             }
-            latencies_[r] = now_ - requests_[r].arrival;
-            ++completed_;
+            record_completion(r);
             continue;
         }
-        (requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_)
-            .push_back(r);
+        queue_insert(
+            requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_,
+            r);
     }
     release_scratch(std::move(residuals));
     release_scratch(std::move(members));
@@ -828,7 +1139,7 @@ DisaggRun::run_decode_iteration(bool interruptible)
     // slots at the iteration boundary, high-priority first.
     // claim() caps the list's total size, so appending to running_
     // directly fills exactly the free batch slots.
-    claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/false,
+    claim(dec_hi_, dec_lo_, opts_.max_batch, ClaimMode::kAll,
           running_);
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
@@ -844,8 +1155,15 @@ DisaggRun::run_decode_iteration(bool interruptible)
         kv_prepare(running_);
     }
     bool protected_iter = false;
+    iter_min_deadline_ = kInf;
     for (int r : running_) {
         protected_iter |= requests_[r].priority == Priority::kHigh;
+        if (slo_on_) {
+            iter_min_deadline_ =
+                std::min(iter_min_deadline_, effective_deadline(r));
+            ++tenant_tokens_[requests_[r].tenant];
+            deficit_[requests_[r].tenant] -= 1.0;
+        }
     }
     IterOutcome o = execute(*program, interruptible && !protected_iter);
     account(o, /*decode=*/true, /*nested=*/false);
@@ -858,8 +1176,7 @@ DisaggRun::run_decode_iteration(bool interruptible)
             kv_retire(*it, done);
         }
         if (done) {
-            latencies_[*it] = now_ - requests_[*it].arrival;
-            ++completed_;
+            record_completion(*it);
             it = running_.erase(it);
         } else {
             ++it;
@@ -868,10 +1185,10 @@ DisaggRun::run_decode_iteration(bool interruptible)
 }
 
 void
-DisaggRun::run_decode_mini_high()
+DisaggRun::run_decode_mini(ClaimMode mode)
 {
     std::vector<int> mini = acquire_scratch();
-    claim(dec_hi_, dec_lo_, opts_.max_batch, /*high_only=*/true, mini);
+    claim(dec_hi_, dec_lo_, opts_.max_batch, mode, mini);
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     int bucket = pick_bucket(opts_.batch_buckets,
@@ -884,13 +1201,20 @@ DisaggRun::run_decode_mini_high()
     if (kv_on_) {
         kv_prepare(mini);
     }
+    if (slo_on_) {
+        for (int r : mini) {
+            ++tenant_tokens_[requests_[r].tenant];
+            deficit_[requests_[r].tenant] -= 1.0;
+        }
+    }
     IterOutcome o = execute(*program, /*can_preempt=*/false);
     account(o, /*decode=*/true, /*nested=*/true);
     rep_.tokens += static_cast<int64_t>(mini.size());
 
     // Completions leave; survivors return to the head of the
-    // high-priority queue and merge into the running batch at the
-    // next boundary.
+    // high-priority queue (or, with slo, to their EDF slot in their
+    // own class) and merge into the running batch at the next
+    // boundary.
     std::vector<int> survivors = acquire_scratch();
     for (int r : mini) {
         bool done = --tokens_left_[r] == 0;
@@ -898,14 +1222,23 @@ DisaggRun::run_decode_mini_high()
             kv_retire(r, done);
         }
         if (done) {
-            latencies_[r] = now_ - requests_[r].arrival;
-            ++completed_;
+            record_completion(r);
         } else {
             survivors.push_back(r);
         }
     }
-    for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) {
-        dec_hi_.push_front(*it);
+    if (!slo_on_) {
+        for (auto it = survivors.rbegin(); it != survivors.rend();
+             ++it) {
+            dec_hi_.push_front(*it);
+        }
+    } else {
+        for (int r : survivors) {
+            queue_insert(requests_[r].priority == Priority::kHigh
+                             ? dec_hi_
+                             : dec_lo_,
+                         r);
+        }
     }
     release_scratch(std::move(survivors));
     release_scratch(std::move(mini));
@@ -969,6 +1302,48 @@ DisaggRun::finalize()
     if (prefix_on_) {
         rep_.shared_kv_bytes = state_.kv_shared_bytes_peak();
     }
+    if (slo_on_) {
+        rep_.tenants = opts_.tenants;
+        rep_.deadline_preemptions = deadline_preemptions_;
+        rep_.fairness_windows = fairness_windows_;
+        int64_t total_work = 0;
+        for (int64_t w : tenant_tokens_) {
+            total_work += w;
+        }
+        for (int t = 0; t < opts_.tenants; ++t) {
+            ServingReport::TenantShare s;
+            s.tenant = t;
+            s.requests = tenant_requests_[t];
+            s.tokens = tenant_tokens_[t];
+            s.token_share =
+                total_work > 0 ? static_cast<double>(tenant_tokens_[t]) /
+                                     static_cast<double>(total_work)
+                               : 0.0;
+            s.deadline_requests = tenant_deadline_reqs_[t];
+            s.deadline_misses = tenant_deadline_miss_[t];
+            s.attainment =
+                s.deadline_requests > 0
+                    ? static_cast<double>(s.deadline_requests -
+                                          s.deadline_misses) /
+                          static_cast<double>(s.deadline_requests)
+                    : 1.0;
+            rep_.deadline_requests += s.deadline_requests;
+            rep_.deadline_misses += s.deadline_misses;
+            rep_.tenant_shares.push_back(s);
+        }
+        rep_.slo_attainment =
+            rep_.deadline_requests > 0
+                ? static_cast<double>(rep_.deadline_requests -
+                                      rep_.deadline_misses) /
+                      static_cast<double>(rep_.deadline_requests)
+                : 1.0;
+        if (!latenesses_.empty()) {
+            std::sort(latenesses_.begin(), latenesses_.end());
+            rep_.p99_lateness =
+                util::percentile_sorted(latenesses_, 99.0);
+            rep_.max_lateness = latenesses_.back();
+        }
+    }
 }
 
 ServingReport
@@ -977,6 +1352,10 @@ DisaggRun::run()
     const int n = total_requests();
     kv_on_ = opts_.kv_budget > 0;
     prefix_on_ = opts_.prefix_sharing;
+    slo_on_ = opts_.slo;
+    // Watching deadline carriers is only worth the park/resume churn
+    // when a trigger could ever fire.
+    watch_deadlines_ = slo_on_ && opts_.preempt_budget > 0;
     tokens_left_.resize(n);
     latencies_.assign(n, 0.0);
     ttfts_.reserve(n);
@@ -1046,12 +1425,64 @@ DisaggRun::run()
                             "request's context length");
             }
         }
+        if (!slo_on_) {
+            util::check(req.tenant == 0 && req.deadline_s == 0.0,
+                        "Server: tenant/deadline-tagged requests need "
+                        "ServerOptions::slo");
+        } else {
+            util::check(req.tenant >= 0 && req.tenant < opts_.tenants,
+                        "Server: request tenant must be in "
+                        "[0, ServerOptions::tenants)");
+            util::check(req.deadline_s >= 0.0,
+                        "Server: deadline_s must be >= 0 "
+                        "(0 = no deadline)");
+            util::check(req.deadline_s == 0.0 ||
+                            req.deadline_s >= req.arrival,
+                        "Server: a deadline must not precede the "
+                        "request's arrival");
+        }
         tokens_left_[i] = req.decode_tokens;
     }
     prefix_tokens_.assign(max_prefix + 1, 0);
     rep_.requests = n;
     rep_.kv_modeled = kv_on_;
     rep_.prefix_sharing = prefix_on_;
+    rep_.slo = slo_on_;
+    if (slo_on_) {
+        const int t = opts_.tenants;
+        tenant_tokens_.assign(t, 0);
+        tenant_requests_.assign(t, 0);
+        tenant_deadline_reqs_.assign(t, 0);
+        tenant_deadline_miss_.assign(t, 0);
+        for (int i = 0; i < n; ++i) {
+            ++tenant_requests_[requests_[i].tenant];
+            if (requests_[i].deadline_s > 0.0) {
+                ++tenant_deadline_reqs_[requests_[i].tenant];
+            }
+        }
+        // Per-window quanta: fairness_tokens split by normalized
+        // share. The Server constructor resolved fairness_tokens and
+        // validated the share vector (positive, one per tenant).
+        std::vector<double> shares = opts_.tenant_shares;
+        if (shares.empty()) {
+            shares.assign(t, 1.0);
+        }
+        double wsum = 0.0;
+        for (double w : shares) {
+            wsum += w;
+        }
+        quantum_.resize(t);
+        for (int i = 0; i < t; ++i) {
+            quantum_[i] =
+                static_cast<double>(opts_.fairness_tokens) * shares[i] /
+                wsum;
+        }
+        // Every tenant starts with a full window (not counted in
+        // fairness_windows_ — no claim was ever blocked for it).
+        deficit_ = quantum_;
+        preempt_left_.assign(n, opts_.preempt_budget);
+        latenesses_.reserve(n);
+    }
 
     while (completed_ < n) {
         admit();
@@ -1081,12 +1512,12 @@ DisaggRun::run()
                     ++rep_.deferred_admissions;
                     run_decode_iteration(/*interruptible=*/true);
                 } else {
-                    run_prefill_iteration(/*high_only=*/false,
+                    run_prefill_iteration(ClaimMode::kAll,
                                           /*interruptible=*/true,
                                           /*force_admit=*/true);
                 }
             } else {
-                run_prefill_iteration(/*high_only=*/false,
+                run_prefill_iteration(ClaimMode::kAll,
                                       /*interruptible=*/true);
             }
         } else {
@@ -1271,6 +1702,39 @@ tag_prompt_lengths(std::vector<Request>& requests, int max_len,
         double draw = std::min(-std::log1p(-u) * mean_len,
                                static_cast<double>(max_len - 1));
         r.prompt_len = 1 + static_cast<int>(std::floor(draw));
+    }
+}
+
+void
+tag_tenants(std::vector<Request>& requests, int tenants, uint64_t seed)
+{
+    util::check(tenants >= 1, "tag_tenants: tenants must be >= 1");
+    if (tenants == 1) {
+        // Exact no-op: no draws consumed, so the same seed tags the
+        // same trace identically whether or not it passed through a
+        // degenerate tenant split (mirrors make_request_trace's 0/1
+        // fractions).
+        return;
+    }
+    // Domain-separate the stream from the other taggers' (see
+    // tag_prompt_lengths): one uniform draw per request on the raw
+    // mt19937_64 output keeps the assignment platform-stable.
+    std::mt19937_64 rng(seed ^ 0x74656e616e747376ull);  // "tenantsv"
+    for (Request& r : requests) {
+        double u =
+            static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+        r.tenant = std::min(static_cast<int>(u * tenants), tenants - 1);
+    }
+}
+
+void
+tag_deadlines(std::vector<Request>& requests, double slo_s)
+{
+    util::check(slo_s > 0.0, "tag_deadlines: slo_s must be positive");
+    // Pure arithmetic — no randomness, so the tagging is trivially
+    // platform-stable and composes with any arrival process.
+    for (Request& r : requests) {
+        r.deadline_s = r.arrival + slo_s;
     }
 }
 
@@ -1470,6 +1934,23 @@ ServingReport::summary() const
             << "peak shared KV " << shared_kv_bytes / 1024
             << " KB/core";
     }
+    if (slo) {
+        out << "\n  slo          : "
+            << (deadline_requests - deadline_misses) << "/"
+            << deadline_requests << " deadlines met ("
+            << pct(slo_attainment) << " attainment), p99 lateness "
+            << ms(p99_lateness) << " ms, max " << ms(max_lateness)
+            << " ms; " << deadline_preemptions
+            << " deadline preemptions, " << fairness_windows
+            << " fairness windows";
+        for (const TenantShare& t : tenant_shares) {
+            out << "\n  tenant " << t.tenant << "     : " << t.requests
+                << " requests, " << t.tokens << " tokens ("
+                << pct(t.token_share) << " share), attainment "
+                << pct(t.attainment) << " (" << t.deadline_misses
+                << " missed)";
+        }
+    }
     return out.str();
 }
 
@@ -1526,14 +2007,34 @@ ServingReport::serialize_bits() const
     append_bits(out, kv_migrations);
     append_bits(out, kv_migrated_tokens);
     append_bits(out, kv_migration_stall);
-    // The prefix block stays the trailing suffix of the
-    // serialization: the sharing-disabled bit-identity anchor in
-    // tests/prefix_test.cc compares everything before it by length.
+    // The prefix and SLO blocks stay the trailing suffix of the
+    // serialization (in this order): the feature-disabled bit-identity
+    // anchors in tests/prefix_test.cc and tests/slo_test.cc compare
+    // everything before their block by stripping fixed-size tails.
     append_bits(out, static_cast<uint8_t>(prefix_sharing ? 1 : 0));
     append_bits(out, prefix_hits);
     append_bits(out, prefix_hit_tokens);
     append_bits(out, prefill_tokens_saved);
     append_bits(out, shared_kv_bytes);
+    append_bits(out, static_cast<uint8_t>(slo ? 1 : 0));
+    append_bits(out, tenants);
+    append_bits(out, deadline_requests);
+    append_bits(out, deadline_misses);
+    append_bits(out, slo_attainment);
+    append_bits(out, p99_lateness);
+    append_bits(out, max_lateness);
+    append_bits(out, deadline_preemptions);
+    append_bits(out, fairness_windows);
+    append_bits(out, static_cast<int>(tenant_shares.size()));
+    for (const TenantShare& t : tenant_shares) {
+        append_bits(out, t.tenant);
+        append_bits(out, t.requests);
+        append_bits(out, t.tokens);
+        append_bits(out, t.token_share);
+        append_bits(out, t.deadline_requests);
+        append_bits(out, t.deadline_misses);
+        append_bits(out, t.attainment);
+    }
     return out;
 }
 
@@ -1570,6 +2071,36 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
                     "Server: prefix sharing needs KV modeling "
                     "(kv_budget > 0) — shared prefix segments live "
                     "in the modeled KV pool");
+    }
+    util::check(opts_.tenants >= 1, "Server: tenants must be >= 1");
+    util::check(opts_.fairness_tokens >= 0,
+                "Server: fairness_tokens must be >= 0 (0 auto-sizes)");
+    util::check(opts_.preempt_budget >= 0,
+                "Server: preempt_budget must be >= 0 (0 disables "
+                "deadline preemption)");
+    if (!opts_.slo) {
+        util::check(opts_.tenants == 1 && opts_.tenant_shares.empty(),
+                    "Server: multi-tenant shares need "
+                    "ServerOptions::slo");
+    } else {
+        util::check(opts_.tenant_shares.empty() ||
+                        static_cast<int>(opts_.tenant_shares.size()) ==
+                            opts_.tenants,
+                    "Server: tenant_shares must be empty (equal "
+                    "shares) or carry one weight per tenant");
+        for (double w : opts_.tenant_shares) {
+            util::check(w > 0.0,
+                        "Server: tenant share weights must be "
+                        "positive");
+        }
+        if (opts_.fairness_tokens == 0) {
+            // Auto-size a window to one full decode batch plus one
+            // maximal prompt: enough that a lone tenant never stalls
+            // between windows, small enough that shares bite within a
+            // few iterations under contention.
+            opts_.fairness_tokens =
+                opts_.max_batch + opts_.max_prompt_len;
+        }
     }
 }
 

@@ -38,9 +38,24 @@
  * The default (0) keeps KV memory free — bit-identical to the pre-KV
  * scheduler.
  *
+ * With ServerOptions::slo, the two priority classes generalize to
+ * per-request deadlines and per-tenant shares: requests carry a
+ * tenant id and an absolute deadline, the wait queues order
+ * earliest-deadline-first (deterministic ties on request id), batch
+ * slots are claimed under a per-tenant weighted token budget
+ * replenished one fairness window at a time (deficit-round-robin
+ * style, work-conserving — shares only bite under contention), and an
+ * urgent deadline arrival may preempt a running iteration through the
+ * same park/resume frames as the priority classes, bounded by a
+ * per-request preemption budget. The default (slo off) rejects
+ * tagged requests and is bit-identical to the two-class scheduler —
+ * as is slo on over a single-tenant, no-deadline trace (the anchor
+ * asserted in tests/slo_test.cc).
+ *
  * The ServingReport aggregates the paper-style serving metrics: tail
  * latency percentiles, time-to-first-token, tokens/s goodput, queue
- * depth, preemption counts, and time-weighted HBM/NoC utilization.
+ * depth, preemption counts, time-weighted HBM/NoC utilization, and
+ * (with slo) SLO attainment and per-tenant token shares.
  * Everything is deterministic: serving the same trace with the same
  * programs is bit-identical at any compiler --jobs setting
  * (serialize_bits is the proof hook).
@@ -143,6 +158,18 @@ struct Request {
     /// stall when the migration is consumed; a migration skipped
     /// because the prefix is already cached locally charges nothing.
     double kv_migrate_stall = 0.0;
+    /// Tenant this request bills against, in [0, ServerOptions::
+    /// tenants). Requires ServerOptions::slo when non-zero (the
+    /// default tenant 0 is what untagged traces carry).
+    int tenant = 0;
+    /// Absolute completion deadline (seconds, same clock as arrival);
+    /// 0 (default) = no deadline. Requires ServerOptions::slo when
+    /// set, and must not precede the arrival. Deadline carriers are
+    /// claimed earliest-deadline-first and may trigger a bounded
+    /// preemption (see ServerOptions::preempt_budget); a request that
+    /// completes after its deadline counts one miss and its lateness
+    /// enters the report's SLO block.
+    double deadline_s = 0.0;
 };
 
 /// Helpers to build Request traces from plain arrival times.
@@ -173,6 +200,25 @@ std::vector<Request> make_request_trace(
  */
 void tag_prompt_lengths(std::vector<Request>& requests, int max_len,
                         double mean_len, uint64_t seed);
+
+/**
+ * Assigns every request a tenant id drawn uniformly from
+ * [0, @p tenants), from its own domain-separated seeded mt19937_64
+ * stream — bit-identical for one @p seed on every platform, one draw
+ * per request, and independent of every other tagging stream (the
+ * tag_prompt_lengths() discipline). @p tenants == 1 tags every
+ * request tenant 0 exactly (no draws consumed).
+ */
+void tag_tenants(std::vector<Request>& requests, int tenants,
+                 uint64_t seed);
+
+/**
+ * Assigns every request the absolute deadline `arrival + slo_s` — the
+ * uniform-SLO tagging the `elkc serve --slo` driver applies. Purely
+ * arithmetic (no draws), so it is trivially platform-stable and never
+ * perturbs any seeded stream. @p slo_s must be positive.
+ */
+void tag_deadlines(std::vector<Request>& requests, double slo_s);
 
 /// Smallest of the sorted @p buckets covering @p need; the largest
 /// bucket when none does. The server's bucket-selection rule for
@@ -289,6 +335,36 @@ struct ServerOptions {
     /// (default) rejects prefix-tagged requests and is bit-identical
     /// to the prefix-free scheduler.
     bool prefix_sharing = false;
+    /// Multi-tenant SLO scheduling: honor Request::tenant and
+    /// Request::deadline_s — EDF-ordered wait queues (deterministic
+    /// ties on request id), per-tenant fairness shares at claim time,
+    /// deadline-triggered preemption under preempt_budget, and the
+    /// SLO block in the report. Off (default) rejects tagged requests
+    /// and is bit-identical to the two-class scheduler; on, a
+    /// single-tenant no-deadline trace still reproduces it bit-for-
+    /// bit (the tests/slo_test.cc anchor).
+    bool slo = false;
+    /// Tenant id domain [0, tenants) requests may carry. Must be >= 1;
+    /// > 1 requires slo.
+    int tenants = 1;
+    /// Per-tenant fairness weights (relative, normalized internally).
+    /// Empty (default) = equal shares; otherwise exactly `tenants`
+    /// positive entries. Requires slo when non-empty.
+    std::vector<double> tenant_shares;
+    /// Token budget one fairness window distributes across tenants in
+    /// proportion to their shares (deficit-round-robin). A tenant
+    /// claims batch slots only while its budget is positive; the
+    /// window replenishes whenever waiting work exists but nothing is
+    /// claimable, so scheduling stays work-conserving — shares govern
+    /// claim *order* under contention, never idle the chip. 0
+    /// (default) auto-sizes to max_batch + max_prompt_len.
+    int fairness_tokens = 0;
+    /// Deadline preemptions one request may *trigger* (each firing
+    /// decrements the triggering request's budget; riders served by
+    /// the same nested iteration spend nothing). 0 disables deadline
+    /// preemption entirely; high-priority preemption (preempt) is
+    /// unaffected either way. Only meaningful with slo.
+    int preempt_budget = 1;
 };
 
 /// Aggregate serving metrics for one trace (paper-style tail report).
@@ -412,6 +488,43 @@ struct ServingReport {
     int64_t prefill_tokens_saved = 0;
     /// High-water mark of resident shared prefix KV bytes per core.
     uint64_t shared_kv_bytes = 0;
+
+    // --- multi-tenant SLO (ServerOptions::slo; all zero when SLO
+    // --- scheduling is off) ---
+    /// SLO scheduling was enabled for this serve (gates the summary
+    /// block; the counters below are all zero when false).
+    bool slo = false;
+    /// Tenant id domain served (ServerOptions::tenants).
+    int tenants = 0;
+    /// Requests that carried a deadline.
+    int deadline_requests = 0;
+    /// Deadline carriers that completed after their deadline.
+    int deadline_misses = 0;
+    /// Fraction of deadline carriers that met their deadline (1 when
+    /// the trace carried none).
+    double slo_attainment = 0.0;
+    /// p99 of completion lateness (completion - deadline, clamped to
+    /// >= 0) over deadline carriers.
+    double p99_lateness = 0.0;
+    /// Worst completion lateness over deadline carriers.
+    double max_lateness = 0.0;
+    /// Preemptions triggered by deadline urgency (a subset of
+    /// `preemptions`, which also counts high-priority firings).
+    int deadline_preemptions = 0;
+    /// Fairness windows opened (per-tenant token budgets replenished).
+    int64_t fairness_windows = 0;
+    /// Per-tenant roll-up, one entry per tenant id in order.
+    struct TenantShare {
+        int tenant = 0;            ///< tenant id.
+        int requests = 0;          ///< requests the tenant submitted.
+        int64_t tokens = 0;        ///< work tokens served (prompt +
+                                   ///< decode).
+        double token_share = 0.0;  ///< tokens / all tenants' tokens.
+        int deadline_requests = 0; ///< deadline carriers submitted.
+        int deadline_misses = 0;   ///< of those, completed late.
+        double attainment = 0.0;   ///< per-tenant SLO attainment.
+    };
+    std::vector<TenantShare> tenant_shares;
 
     /// Multi-line human summary.
     std::string summary() const;

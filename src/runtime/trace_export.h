@@ -14,17 +14,27 @@
 
 namespace elk::runtime {
 
-/// Per-operator phase timing rows (CSV text).
+/// Per-operator phase timing rows as CSV text, one row per simulated
+/// op in schedule order under the header
+/// `op_id,name,kind,pre_start,pre_end,exec_start,exec_end`
+/// (times in simulated seconds). @p graph must be the graph @p result
+/// was simulated from — op ids are resolved against it for names.
 std::string timing_csv(const graph::Graph& graph,
                        const sim::SimResult& result);
 
-/// Writes timing_csv to @p path; util::fatal on I/O errors.
+/// Writes timing_csv() verbatim to @p path, truncating any existing
+/// file; util::fatal (process exit) when the file cannot be opened.
 void export_timing(const graph::Graph& graph, const sim::SimResult& result,
                    const std::string& path);
 
 /**
- * Gantt-style summary of a run: one line per operator with preload and
- * execute intervals, for quick terminal inspection of schedules.
+ * Gantt-style summary for quick terminal inspection of a schedule
+ * (`elkc --timeline`): one fixed-width bar per sampled operator over
+ * the run's total time, marking preload ('p'), execute ('X'), and
+ * their overlap ('#') — the overlap the compiler exists to create.
+ * At most ~@p max_rows rows are emitted by striding over the ops, so
+ * long schedules stay readable; returns "(empty timeline)\n" for a
+ * run with no timed ops.
  */
 std::string timeline_summary(const graph::Graph& graph,
                              const sim::SimResult& result,

@@ -22,6 +22,13 @@ Four classes of rot this catches:
     drifting when a driver renames a flag.
  4. TODO/FIXME markers inside docs/*.md — user docs must not ship
     construction debris.
+ 5. Report-column rot: the `ServingReport` / `ClusterReport` field
+    tables in docs/SERVING.md, docs/CLUSTER.md, and docs/TENANCY.md
+    name every field in their first cell (backticked, slash-compressed
+    forms like `mean/p50/p95/p99/max_latency` allowed). Each expanded
+    field name must appear as a whole word in src/runtime/*.cc — the
+    summary()/serialize_bits() implementations — so renaming or
+    dropping a report field without updating the docs fails CI.
 
 Usage:
     tools/check_docs.py              # check, exit 1 on any failure
@@ -60,6 +67,11 @@ EXTERNAL_FLAGS = {
 # and ISSUE/CHANGES are process logs).
 FLAG_CHECKED_DOCS = ("README.md", "ROADMAP.md")
 MARKER_RE = re.compile(r"\b(TODO|FIXME)\b")
+# Docs whose markdown tables document report fields in their first
+# cell; every backticked identifier there must resolve to a field
+# used by src/runtime/*.cc.
+REPORT_TABLE_DOCS = ("SERVING.md", "CLUSTER.md", "TENANCY.md")
+FIELD_RE = re.compile(r"`([A-Za-z][A-Za-z0-9_/]*)`")
 
 
 def markdown_files():
@@ -108,6 +120,56 @@ def known_flags():
         with open(src, encoding="utf-8") as f:
             flags |= set(SRC_FLAG_RE.findall(f.read()))
     return flags
+
+
+def runtime_source():
+    """Concatenated src/runtime/*.cc — where every report field is
+    consumed by summary()/serialize_bits()."""
+    texts = []
+    directory = os.path.join(REPO, "src", "runtime")
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".cc"):
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as f:
+                texts.append(f.read())
+    return "\n".join(texts)
+
+
+def expand_field(token):
+    """'mean/p50/p95/p99/max_latency' -> its five field names; a
+    token without '/' is already a field name."""
+    if "/" not in token:
+        return [token]
+    parts = token.split("/")
+    last = parts[-1]
+    if "_" not in last:
+        return parts
+    _, suffix = last.split("_", 1)
+    return [p + "_" + suffix for p in parts[:-1]] + [last]
+
+
+def check_report_fields(md_path, runtime_src, errors):
+    """Every backticked identifier in a markdown table row's first
+    cell must appear (whole-word) in src/runtime/*.cc."""
+    rel = os.path.relpath(md_path, REPO)
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            stripped = line.lstrip()
+            if not stripped.startswith("|"):
+                continue
+            cells = stripped.split("|")
+            if len(cells) < 3:
+                continue
+            for token in FIELD_RE.findall(cells[1]):
+                for field in expand_field(token):
+                    if re.search(r"\b%s\b" % re.escape(field),
+                                 runtime_src):
+                        continue
+                    errors.append(
+                        f"{rel}:{lineno}: documents report column "
+                        f"'{field}' but src/runtime/*.cc never "
+                        "mentions it"
+                    )
 
 
 def flag_checked(md_path):
@@ -181,6 +243,7 @@ def main():
     list_only = "--list-binaries" in sys.argv[1:]
     binaries = known_binaries()
     flags = known_flags()
+    runtime_src = runtime_source()
     errors = []
     named = set()
     for md in markdown_files():
@@ -195,6 +258,8 @@ def main():
         rel = os.path.relpath(md, REPO)
         if rel.startswith("docs" + os.sep):
             check_markers(md, errors)
+            if os.path.basename(md) in REPORT_TABLE_DOCS:
+                check_report_fields(md, runtime_src, errors)
 
     if list_only:
         print(" ".join(sorted(named)))

@@ -136,7 +136,23 @@ usage(const char* argv0)
         "                    dedicate the first N replicas to prompt\n"
         "                    ingestion, feeding the rest KV over the\n"
         "                    interconnect (requires --kv-budget > 0\n"
-        "                    and N < --replicas)\n",
+        "                    and N < --replicas)\n"
+        "  --tenants N       tenants sharing the chip under weighted\n"
+        "                    fair token shares, tagged per request\n"
+        "                    from the trace seed (default 1; > 1\n"
+        "                    enables SLO scheduling — docs/TENANCY.md)\n"
+        "  --slo S           per-request completion deadline of\n"
+        "                    arrival + S seconds, served earliest-\n"
+        "                    deadline-first (default 0 = no deadlines;\n"
+        "                    > 0 enables SLO scheduling)\n"
+        "  --tenant-shares W1,W2,...\n"
+        "                    per-tenant fairness weights, one positive\n"
+        "                    weight per tenant (requires --tenants >=\n"
+        "                    2; default: equal shares)\n"
+        "  --preempt-budget N\n"
+        "                    deadline preemptions one request may\n"
+        "                    trigger (default 1; 0 disables deadline\n"
+        "                    preemption; requires SLO scheduling)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -205,6 +221,11 @@ serve_main(int argc, char** argv, const char* argv0)
     std::string interconnect = "ring";
     bool migrate_kv = false;
     int prefill_replicas = 0;
+    int tenants = 1;
+    double slo_s = 0.0;
+    std::string tenant_shares_arg;
+    int preempt_budget = 1;
+    bool preempt_budget_set = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char* flag) {
@@ -282,6 +303,16 @@ serve_main(int argc, char** argv, const char* argv0)
         } else if (const char* v = arg("--prefill-replicas")) {
             prefill_replicas =
                 util::parse_int_arg(v, "--prefill-replicas", 0, 4096);
+        } else if (const char* v = arg("--tenants")) {
+            tenants = util::parse_int_arg(v, "--tenants", 1, 1 << 20);
+        } else if (const char* v = arg("--slo")) {
+            slo_s = util::parse_double_arg(v, "--slo", 0.0, 1e9);
+        } else if (const char* v = arg("--tenant-shares")) {
+            tenant_shares_arg = v;
+        } else if (const char* v = arg("--preempt-budget")) {
+            preempt_budget =
+                util::parse_int_arg(v, "--preempt-budget", 0, 1 << 20);
+            preempt_budget_set = true;
         } else if (std::strcmp(argv[i], "--migrate-kv") == 0) {
             migrate_kv = true;
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
@@ -359,6 +390,42 @@ serve_main(int argc, char** argv, const char* argv0)
             "modeling: pass --kv-budget KB > 0 (shared prefixes and "
             "multi-turn KV reuse live in the modeled KV pool)");
     }
+    // SLO scheduling (docs/TENANCY.md) switches on when anything
+    // multi-tenant or deadline-shaped is asked for; the satellite
+    // flags alone make no sense without it.
+    std::vector<double> tenant_shares;
+    if (!tenant_shares_arg.empty()) {
+        if (tenants < 2) {
+            util::fatal(
+                "--tenant-shares needs --tenants >= 2: share weights "
+                "divide the fairness window between tenants, and a "
+                "single tenant always owns the whole window");
+        }
+        if (tenant_shares_arg.back() == ',') {
+            util::fatal("--tenant-shares: trailing ','");
+        }
+        std::stringstream ss(tenant_shares_arg);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            tenant_shares.push_back(util::parse_double_arg(
+                item.c_str(), "--tenant-shares", 1e-9, 1e9));
+        }
+        if (static_cast<int>(tenant_shares.size()) != tenants) {
+            util::fatal("--tenant-shares: got " +
+                        std::to_string(tenant_shares.size()) +
+                        " weights for --tenants " +
+                        std::to_string(tenants) +
+                        " (pass exactly one positive weight per "
+                        "tenant)");
+        }
+    }
+    const bool slo_serving = tenants > 1 || slo_s > 0.0;
+    if (preempt_budget_set && !slo_serving) {
+        util::fatal(
+            "--preempt-budget bounds deadline-triggered preemption, "
+            "which only runs under SLO scheduling: pass --tenants >= "
+            "2 or --slo S > 0 as well");
+    }
 
     hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
     compiler::CompileOptions copts;
@@ -386,6 +453,10 @@ serve_main(int argc, char** argv, const char* argv0)
             : graph::kv_bytes_per_token(
                   graph::model_by_name(model_name));
     sopts.prefix_sharing = prefix_pop > 0;
+    sopts.slo = slo_serving;
+    sopts.tenants = tenants;
+    sopts.tenant_shares = tenant_shares;
+    sopts.preempt_budget = preempt_budget;
     std::vector<runtime::Request> trace;
     if (session_trace) {
         runtime::SessionTraceOptions st;
@@ -419,6 +490,15 @@ serve_main(int argc, char** argv, const char* argv0)
                                         static_cast<uint64_t>(seed));
         }
     }
+    // Tenant/deadline tagging composes with either trace shape (the
+    // streams are domain-separated from every other tagger's).
+    if (slo_serving) {
+        runtime::tag_tenants(trace, tenants,
+                             static_cast<uint64_t>(seed));
+        if (slo_s > 0.0) {
+            runtime::tag_deadlines(trace, slo_s);
+        }
+    }
 
     std::printf("serving    : %s, %s, batch %d, seq %d\n",
                 model_name.c_str(), sc.mode().c_str(), batch, seq);
@@ -448,6 +528,26 @@ serve_main(int argc, char** argv, const char* argv0)
                     kv_budget_kb,
                     static_cast<unsigned long long>(
                         sopts.kv_bytes_per_token));
+    }
+    if (slo_serving) {
+        std::string shares = "equal";
+        if (!tenant_shares.empty()) {
+            std::ostringstream s;
+            for (size_t i = 0; i < tenant_shares.size(); ++i) {
+                s << (i ? ":" : "") << tenant_shares[i];
+            }
+            shares = s.str();
+        }
+        std::string deadline = "none";
+        if (slo_s > 0.0) {
+            std::ostringstream d;
+            d << "arrival + " << slo_s << " s";
+            deadline = d.str();
+        }
+        std::printf("slo        : %d tenants (shares %s), deadline "
+                    "%s, preempt budget %d\n",
+                    tenants, shares.c_str(), deadline.c_str(),
+                    preempt_budget);
     }
     auto prefill_programs = [&](int b, int len) {
         return pc.program(b, len);
