@@ -327,14 +327,16 @@ main(int argc, char** argv)
         bool closed_decode;  ///< serve_modes: plain closed-loop loop.
         bool prefix;         ///< serve_prefix: session trace, sharing.
         bool slo;            ///< serve_slo: tenant/deadline tagging.
+        int chunk;           ///< serve_chunked: prefill chunk size.
     };
     const uint64_t kv_budget = chip.usable_sram_per_core() / 8;
     const std::vector<ServeSpec> specs = {
-        {"serve_modes", 0, true, false, false},
-        {"serve_varlen", 0, false, false, false},
-        {"serve_kv", kv_budget, false, false, false},
-        {"serve_prefix", kv_budget, false, true, false},
-        {"serve_slo", 0, false, false, true},
+        {"serve_modes", 0, true, false, false, 0},
+        {"serve_varlen", 0, false, false, false, 0},
+        {"serve_kv", kv_budget, false, false, false, 0},
+        {"serve_prefix", kv_budget, false, true, false, 0},
+        {"serve_slo", 0, false, false, true, 0},
+        {"serve_chunked", 0, false, false, false, seq / 16},
     };
     struct ServeCellRef {
         int spec;
@@ -374,6 +376,7 @@ main(int argc, char** argv)
                             graph::kv_bytes_per_token(model);
                     }
                     opts.prefix_sharing = spec.prefix;
+                    opts.prefill_chunk = spec.chunk;
                     auto trace = spec.prefix
                                      ? session_trace(/*seed=*/23)
                                      : skewed_trace(/*seed=*/19);

@@ -13,11 +13,12 @@
  *   $ ./llm_serving [model] [batch] [seq] [requests] [rate] [tokens] \
  *                   [prefill_frac] [high_frac] [prompt_mean] \
  *                   [kv_budget_kb] [prefix_pop] [turns] [replicas] \
- *                   [tenants] [slo_s]
+ *                   [tenants] [slo_s] [prefill_chunk]
  *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0.1 256 2048
  *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3
  *   $ ./llm_serving Llama2-13B 32 2048 48 0 4 0 0 256 2048 8 3 4
  *   $ ./llm_serving Llama2-13B 32 2048 64 40 4 0.5 0 256 0 0 1 1 3 0.5
+ *   $ ./llm_serving Llama2-13B 32 2048 64 0 4 0.5 0 256 2048 0 1 1 1 0 512
  *
  * rate 0 (default) = closed loop (every request queued at t = 0);
  * rate > 0 = Poisson open loop at that many requests/s.
@@ -48,6 +49,10 @@
  * seeded tenants served EDF under equal fairness shares, each with a
  * deadline of arrival + slo_s seconds when slo_s > 0, and the tables
  * grow SLO-attainment / deadline-miss / p99-lateness columns.
+ * prefill_chunk (default 0 = off) splits every prompt into
+ * power-of-two chunks of at most that many tokens, interleaving a
+ * decode iteration between chunks so decode latency no longer stalls
+ * behind whole long prompts (docs/SERVING.md).
  */
 #include <cstdio>
 #include <string>
@@ -117,6 +122,10 @@ main(int argc, char** argv)
         argc > 15
             ? util::parse_double_arg(argv[15], "slo_s", 0.0, 1e9)
             : 0.0;
+    int prefill_chunk =
+        argc > 16
+            ? util::parse_int_arg(argv[16], "prefill_chunk", 0, 1 << 20)
+            : 0;
     const bool slo_serving = tenants > 1 || slo_s > 0.0;
     const bool session_trace = prefix_pop > 0 || turns > 1.0;
     if (session_trace && kv_budget_kb == 0) {
@@ -203,6 +212,10 @@ main(int argc, char** argv)
                         tenants);
         }
     }
+    if (prefill_chunk > 0) {
+        std::printf("chunking    : prefill chunk %d tokens\n",
+                    prefill_chunk);
+    }
 
     compiler::PlanCache cache;
     if (replicas > 1) {
@@ -247,6 +260,7 @@ main(int argc, char** argv)
             clopts.server.prefix_sharing = prefix_pop > 0;
             clopts.server.slo = slo_serving;
             clopts.server.tenants = tenants;
+            clopts.server.prefill_chunk = prefill_chunk;
             runtime::Cluster cluster(sc.machine(), clopts);
             runtime::ClusterReport rep = cluster.serve(
                 trace,
@@ -291,6 +305,7 @@ main(int argc, char** argv)
         sopts.prefix_sharing = prefix_pop > 0;
         sopts.slo = slo_serving;
         sopts.tenants = tenants;
+        sopts.prefill_chunk = prefill_chunk;
         runtime::Server server(sc.machine(), sopts);
         runtime::ServingReport rep = server.serve(
             trace, [&](int b, int len) { return pc.program(b, len); },

@@ -28,6 +28,23 @@ pick_bucket(const std::vector<int>& buckets, int need)
     return buckets.back();
 }
 
+std::vector<int>
+chunk_plan(int prompt_len, int chunk)
+{
+    util::check(prompt_len >= 1, "chunk_plan: prompt_len must be >= 1");
+    util::check(chunk >= 1 && (chunk & (chunk - 1)) == 0,
+                "chunk_plan: chunk must be a positive power of two");
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>((prompt_len + chunk - 1) / chunk));
+    int left = prompt_len;
+    while (left > chunk) {
+        out.push_back(chunk);
+        left -= chunk;
+    }
+    out.push_back(left);
+    return out;
+}
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -288,6 +305,23 @@ class DisaggRun {
     /// claiming can never disagree.
     uint64_t prompt_kv_need(int r) const;
 
+    /// Length/KV-aware prefill order under chunking: starved prompts
+    /// first (the bounded fairness window), then (effective deadline,
+    /// remaining length, id) — a total order, so sorting is
+    /// deterministic.
+    bool pre_before(int a, int b) const;
+
+    /// Re-sorts both prefill queues by pre_before — claim order is
+    /// queue order, and skips/remaining lengths move between claims.
+    /// Chunking only.
+    void order_prefill_queues();
+
+    /// KV-locality decode claim: fills free batch slots with
+    /// KV-resident requests only; every spilled request passed over
+    /// while slots remained counts one kv_locality_skips.
+    void claim_kv_resident(std::deque<int>& hi, std::deque<int>& lo,
+                           int cap, std::vector<int>& members);
+
     const sim::Machine& machine_;
     const ServerOptions& opts_;
     const std::vector<Request>& requests_;
@@ -374,6 +408,29 @@ class DisaggRun {
     /// Deadline a kUrgent claim must beat to ride along (set to the
     /// preempted victim's min deadline for the nested iteration).
     double urgent_thresh_ = kInf;
+
+    /// Chunked prefill on (ServerOptions::prefill_chunk > 0). Every
+    /// member below is inert while false — the bit-identity guard.
+    bool chunk_on_ = false;
+    /// Claim passes a waiting prompt may be passed over before the
+    /// bounded fairness window sorts it to the queue head — the cap
+    /// that keeps length-aware claiming from starving giants.
+    static constexpr int kChunkStarveLimit = 8;
+    /// Per request: prompt tokens still to ingest (-1 = not yet
+    /// claimed; the first chunk resolves the prefix residual).
+    std::vector<int> pre_left_;
+    /// Per request: ingest tokens left that append no private-tail KV
+    /// (the unseeded span of a missed prefix, ingested first — its KV
+    /// lives in the prefix segment the first chunk seeded whole).
+    std::vector<int> tail_skip_left_;
+    /// Per request: prefill claim passes that passed it over since it
+    /// was last claimed (>= kChunkStarveLimit makes it starved).
+    std::vector<int> pre_skips_;
+    /// A prefill iteration re-queued a partially-ingested prompt: the
+    /// next boundary yields one decode iteration if decode work waits.
+    bool chunk_yield_ = false;
+    /// KV-locality decode claiming on (ServerOptions::kv_locality).
+    bool kv_locality_on_ = false;
 };
 
 void
@@ -524,6 +581,67 @@ DisaggRun::claim(std::deque<int>& hi, std::deque<int>& lo, int cap,
     }
 }
 
+bool
+DisaggRun::pre_before(int a, int b) const
+{
+    const bool sa = pre_skips_[a] >= kChunkStarveLimit;
+    const bool sb = pre_skips_[b] >= kChunkStarveLimit;
+    if (sa != sb) {
+        return sa;
+    }
+    const double da = effective_deadline(a);
+    const double db = effective_deadline(b);
+    if (da != db) {
+        return da < db;
+    }
+    const int la =
+        pre_left_[a] >= 0 ? pre_left_[a] : effective_prompt_len(a);
+    const int lb =
+        pre_left_[b] >= 0 ? pre_left_[b] : effective_prompt_len(b);
+    if (la != lb) {
+        return la < lb;
+    }
+    return a < b;
+}
+
+void
+DisaggRun::order_prefill_queues()
+{
+    auto cmp = [this](int a, int b) { return pre_before(a, b); };
+    std::sort(pre_hi_.begin(), pre_hi_.end(), cmp);
+    std::sort(pre_lo_.begin(), pre_lo_.end(), cmp);
+}
+
+void
+DisaggRun::claim_kv_resident(std::deque<int>& hi, std::deque<int>& lo,
+                             int cap, std::vector<int>& members)
+{
+    // Residents only; deficit-blocked tenants are skipped without a
+    // replenish window (the full claim() fallback opens windows when
+    // nothing resident could run at all).
+    auto pass = [&](std::deque<int>& q) {
+        for (auto it = q.begin();
+             it != q.end() && static_cast<int>(members.size()) < cap;) {
+            const int r = *it;
+            if (slo_on_ && deficit_[requests_[r].tenant] <= 0.0) {
+                ++it;
+                continue;
+            }
+            if (kv_tokens_[r] < 0 || !state_.kv_resident(r)) {
+                // Spilled (or not yet materialized here): passed over
+                // while a resident request could still fill the slot.
+                ++rep_.kv_locality_skips;
+                ++it;
+                continue;
+            }
+            members.push_back(r);
+            it = q.erase(it);
+        }
+    };
+    pass(hi);
+    pass(lo);
+}
+
 int
 DisaggRun::urgent_trigger(double thresh, bool* prefill) const
 {
@@ -584,6 +702,17 @@ DisaggRun::release_scratch(std::vector<int>&& v)
 uint64_t
 DisaggRun::prompt_kv_need(int r) const
 {
+    if (chunk_on_ && pre_left_[r] >= 0) {
+        // A chunked prompt past its first chunk: admission gated on
+        // the full need at the first chunk, so only the next chunk's
+        // private-tail growth is new KV here.
+        const int ingest = std::min(opts_.prefill_chunk, pre_left_[r]);
+        const int skip = std::min(tail_skip_left_[r], ingest);
+        const int64_t tail_before =
+            kv_tokens_[r] >= 0 ? kv_tokens_[r] : 0;
+        return kv_per_core(tail_before + (ingest - skip)) -
+               kv_per_core(tail_before);
+    }
     const int64_t len = effective_prompt_len(r);
     const int pid = prefix_on_ ? requests_[r].prefix_id : -1;
     if (pid < 0) {
@@ -865,16 +994,44 @@ void
 DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
                                  bool force_admit)
 {
+    if (chunk_on_) {
+        // Claim order is queue order: refresh the length/KV-aware
+        // order here too, so the preemption path (which claims without
+        // passing through the run() loop) sees it as well.
+        order_prefill_queues();
+    }
     std::vector<int> members = acquire_scratch();
-    // Parallel to members while prefix_on_: prompt tokens each member
-    // actually brings to this iteration (full length, or the residual
-    // past its cached prefix).
+    // Parallel to members while prefix_on_ or chunk_on_: prompt tokens
+    // each member actually brings to this iteration (full length, the
+    // residual past its cached prefix, or this chunk).
     std::vector<int> residuals = acquire_scratch();
+    // Parallel to residuals: the tokens this member would have brought
+    // with no prefix cached — what the padding-savings counter
+    // compares against.
+    std::vector<int> fulls = acquire_scratch();
+    const bool track_ingest = chunk_on_ || prefix_on_;
     int64_t prefix_stream = 0;  ///< spilled-prefix tokens fetched back.
     double migrate_stall = 0.0;  ///< router-priced interconnect stalls.
     if (!kv_on_) {
         claim(pre_hi_, pre_lo_, opts_.max_prefill_batch, mode,
               members);
+        if (chunk_on_) {
+            for (int r : members) {
+                const int remaining = pre_left_[r] >= 0
+                                          ? pre_left_[r]
+                                          : effective_prompt_len(r);
+                const int ingest =
+                    std::min(opts_.prefill_chunk, remaining);
+                if (pre_left_[r] < 0 && remaining > ingest) {
+                    ++rep_.chunked_prompts;
+                }
+                pre_left_[r] = remaining - ingest;
+                pre_skips_[r] = 0;
+                ++rep_.prefill_chunks;
+                residuals.push_back(ingest);
+                fulls.push_back(ingest);
+            }
+        }
     } else {
         // KV-gated claiming: members are taken in the usual order
         // (high first, FIFO within a class) but each prompt must fit
@@ -923,14 +1080,55 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
                 }
                 it = q.erase(it);
                 members.push_back(r);
+                if (chunk_on_ && pre_left_[r] >= 0) {
+                    // A later chunk of an admitted prompt: ingest the
+                    // next chunk and grow the private tail in place
+                    // (admission gated on the full need at the first
+                    // chunk; growth spills under pressure instead of
+                    // deferring, so mid-prompt chunks cannot
+                    // deadlock on backpressure).
+                    const int ingest =
+                        std::min(opts_.prefill_chunk, pre_left_[r]);
+                    pre_left_[r] -= ingest;
+                    pre_skips_[r] = 0;
+                    ++rep_.prefill_chunks;
+                    const int skip_use =
+                        std::min(tail_skip_left_[r], ingest);
+                    tail_skip_left_[r] -= skip_use;
+                    const int tail_add = ingest - skip_use;
+                    if (tail_add > 0) {
+                        if (kv_tokens_[r] < 0) {
+                            kv_tokens_[r] = tail_add;
+                            if (state_.kv_alloc(
+                                    r, kv_per_core(tail_add))) {
+                                state_.kv_pin(r);
+                                kv_pinned_[r] = true;
+                            }
+                        } else {
+                            const uint64_t before =
+                                kv_per_core(kv_tokens_[r]);
+                            kv_tokens_[r] += tail_add;
+                            state_.kv_grow(
+                                r, kv_per_core(kv_tokens_[r]) - before);
+                            if (state_.kv_resident(r) &&
+                                !kv_pinned_[r]) {
+                                state_.kv_pin(r);
+                                kv_pinned_[r] = true;
+                            }
+                        }
+                    }
+                    residuals.push_back(ingest);
+                    fulls.push_back(ingest);
+                    continue;
+                }
                 int64_t tail = len;
+                // Prompt tokens a prefill program must actually
+                // ingest for this member (its residual).
+                int64_t residual = len;
                 if (prefix_on_ && requests_[r].prefix_id >= 0) {
                     const int pid = requests_[r].prefix_id;
                     const int64_t pseg = prefix_kv_id(pid);
                     const int64_t covered = prefix_covered(r);
-                    // Prompt tokens a prefill program must actually
-                    // ingest for this member (its residual).
-                    int64_t residual = len;
                     if (covered > 0) {
                         ++rep_.prefix_hits;
                         rep_.prefix_hit_tokens += covered;
@@ -974,14 +1172,47 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
                         state_.kv_pin(pseg);
                         prefix_pinned_[r] = true;
                     }
-                    residuals.push_back(static_cast<int>(residual));
-                } else if (prefix_on_) {
-                    residuals.push_back(static_cast<int>(len));
                 }
-                kv_tokens_[r] = tail;
-                if (state_.kv_alloc(r, kv_per_core(tail))) {
-                    state_.kv_pin(r);
-                    kv_pinned_[r] = true;
+                if (!chunk_on_) {
+                    kv_tokens_[r] = tail;
+                    if (state_.kv_alloc(r, kv_per_core(tail))) {
+                        state_.kv_pin(r);
+                        kv_pinned_[r] = true;
+                    }
+                    if (track_ingest) {
+                        residuals.push_back(static_cast<int>(residual));
+                        fulls.push_back(static_cast<int>(len));
+                    }
+                } else {
+                    // First chunk: prefix-resident tokens were skipped
+                    // above; the residual now ingests chunk by chunk,
+                    // the private tail allocating with the first chunk
+                    // that reaches past any unseeded prefix span.
+                    const int res = static_cast<int>(residual);
+                    const int ingest =
+                        std::min(opts_.prefill_chunk, res);
+                    if (res > ingest) {
+                        ++rep_.chunked_prompts;
+                    }
+                    pre_left_[r] = res - ingest;
+                    pre_skips_[r] = 0;
+                    ++rep_.prefill_chunks;
+                    tail_skip_left_[r] =
+                        static_cast<int>(residual - tail);
+                    const int skip_use =
+                        std::min(tail_skip_left_[r], ingest);
+                    tail_skip_left_[r] -= skip_use;
+                    const int tail_add = ingest - skip_use;
+                    if (tail_add > 0) {
+                        kv_tokens_[r] = tail_add;
+                        if (state_.kv_alloc(r, kv_per_core(tail_add))) {
+                            state_.kv_pin(r);
+                            kv_pinned_[r] = true;
+                        }
+                    }
+                    residuals.push_back(ingest);
+                    fulls.push_back(static_cast<int>(std::min<int64_t>(
+                        opts_.prefill_chunk, len)));
                 }
             }
         };
@@ -1016,6 +1247,17 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
             }
         }
     }
+    if (chunk_on_) {
+        // Bounded fairness window: every prompt still waiting after
+        // this claim moves one pass closer to starved status (and
+        // with it, the head of the claim order).
+        for (int r : pre_hi_) {
+            ++pre_skips_[r];
+        }
+        for (int r : pre_lo_) {
+            ++pre_skips_[r];
+        }
+    }
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
     kv_charge_stream(prefix_stream);
@@ -1032,10 +1274,10 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
     int64_t actual_tokens = 0;
     for (size_t i = 0; i < members.size(); ++i) {
         const int len = effective_prompt_len(members[i]);
-        const int res =
-            prefix_on_ ? residuals[i] : len;
+        const int res = track_ingest ? residuals[i] : len;
         need_len = std::max(need_len, res);
-        need_len_full = std::max(need_len_full, len);
+        need_len_full =
+            std::max(need_len_full, track_ingest ? fulls[i] : len);
         actual_tokens += res;
         if (slo_on_) {
             // Fairness charges actual ingested work: a long prompt
@@ -1111,6 +1353,20 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
             state_.kv_unpin(prefix_kv_id(prefix_share_[r]));
             prefix_pinned_[r] = false;
         }
+        if (chunk_on_ && pre_left_[r] > 0) {
+            // More chunks to ingest: back to the prefill queue (the
+            // prefix share and the accumulated tail KV stay), no TTFT
+            // yet — it fires when the final chunk retires. The next
+            // iteration boundary yields one decode iteration if
+            // decode work waits, so decode never stalls behind the
+            // whole prompt.
+            chunk_yield_ = true;
+            queue_insert(requests_[r].priority == Priority::kHigh
+                             ? pre_hi_
+                             : pre_lo_,
+                         r);
+            continue;
+        }
         ttfts_.push_back(now_ - requests_[r].arrival);
         if (tokens_left_[r] == 0) {
             if (kv_on_) {
@@ -1128,6 +1384,7 @@ DisaggRun::run_prefill_iteration(ClaimMode mode, bool interruptible,
             requests_[r].priority == Priority::kHigh ? dec_hi_ : dec_lo_,
             r);
     }
+    release_scratch(std::move(fulls));
     release_scratch(std::move(residuals));
     release_scratch(std::move(members));
 }
@@ -1139,8 +1396,21 @@ DisaggRun::run_decode_iteration(bool interruptible)
     // slots at the iteration boundary, high-priority first.
     // claim() caps the list's total size, so appending to running_
     // directly fills exactly the free batch slots.
-    claim(dec_hi_, dec_lo_, opts_.max_batch, ClaimMode::kAll,
-          running_);
+    if (kv_locality_on_) {
+        // Locality-aware membership: free slots fill with KV-resident
+        // requests first; spilled requests run only when nothing
+        // resident can (each pass-over counts one kv_locality_skips),
+        // so a hot batch never thrashes its SRAM residency streaming
+        // a cold segment back mid-flight.
+        claim_kv_resident(dec_hi_, dec_lo_, opts_.max_batch, running_);
+        if (running_.empty()) {
+            claim(dec_hi_, dec_lo_, opts_.max_batch, ClaimMode::kAll,
+                  running_);
+        }
+    } else {
+        claim(dec_hi_, dec_lo_, opts_.max_batch, ClaimMode::kAll,
+              running_);
+    }
     rep_.peak_queue_depth = std::max(
         rep_.peak_queue_depth, static_cast<int>(waiting_total()));
 
@@ -1356,6 +1626,11 @@ DisaggRun::run()
     // Watching deadline carriers is only worth the park/resume churn
     // when a trigger could ever fire.
     watch_deadlines_ = slo_on_ && opts_.preempt_budget > 0;
+    chunk_on_ = opts_.prefill_chunk > 0;
+    kv_locality_on_ = opts_.kv_locality;
+    pre_left_.assign(n, -1);
+    tail_skip_left_.assign(n, 0);
+    pre_skips_.assign(n, 0);
     tokens_left_.resize(n);
     latencies_.assign(n, 0.0);
     ttfts_.reserve(n);
@@ -1448,6 +1723,8 @@ DisaggRun::run()
     rep_.kv_modeled = kv_on_;
     rep_.prefix_sharing = prefix_on_;
     rep_.slo = slo_on_;
+    rep_.prefill_chunk = opts_.prefill_chunk;
+    rep_.kv_locality = kv_locality_on_;
     if (slo_on_) {
         const int t = opts_.tenants;
         tenant_tokens_.assign(t, 0);
@@ -1501,6 +1778,20 @@ DisaggRun::run()
             continue;
         }
         if (!pre_hi_.empty() || !pre_lo_.empty()) {
+            if (chunk_on_) {
+                order_prefill_queues();
+                const bool yielded = chunk_yield_;
+                chunk_yield_ = false;
+                if (yielded && (!running_.empty() || !dec_hi_.empty() ||
+                                !dec_lo_.empty())) {
+                    // A long prompt sits mid-ingestion: one decode
+                    // iteration runs between its chunks — the
+                    // head-of-line win chunking exists for.
+                    ++rep_.chunk_decode_interleaves;
+                    run_decode_iteration(/*interruptible=*/true);
+                    continue;
+                }
+            }
             if (kv_on_ && !prefill_admissible()) {
                 // KV backpressure: the next prompt's segment does not
                 // fit next to the resident ones. Run decode work
@@ -1951,6 +2242,16 @@ ServingReport::summary() const
                 << " missed)";
         }
     }
+    if (prefill_chunk > 0) {
+        out << "\n  chunked prefill: chunk " << prefill_chunk << ", "
+            << chunked_prompts << " chunked prompts / "
+            << prefill_chunks << " chunks, "
+            << chunk_decode_interleaves << " decode interleaves";
+    }
+    if (kv_locality) {
+        out << "\n  kv locality  : " << kv_locality_skips
+            << " spilled claims passed over for resident work";
+    }
     return out.str();
 }
 
@@ -2007,10 +2308,11 @@ ServingReport::serialize_bits() const
     append_bits(out, kv_migrations);
     append_bits(out, kv_migrated_tokens);
     append_bits(out, kv_migration_stall);
-    // The prefix and SLO blocks stay the trailing suffix of the
-    // serialization (in this order): the feature-disabled bit-identity
-    // anchors in tests/prefix_test.cc and tests/slo_test.cc compare
-    // everything before their block by stripping fixed-size tails.
+    // The prefix, SLO, and chunk blocks stay the trailing suffix of
+    // the serialization (in this order): the feature-disabled
+    // bit-identity anchors in tests/prefix_test.cc, tests/slo_test.cc
+    // and tests/chunked_test.cc compare everything before their block
+    // by stripping fixed-size tails.
     append_bits(out, static_cast<uint8_t>(prefix_sharing ? 1 : 0));
     append_bits(out, prefix_hits);
     append_bits(out, prefix_hit_tokens);
@@ -2035,6 +2337,12 @@ ServingReport::serialize_bits() const
         append_bits(out, t.deadline_misses);
         append_bits(out, t.attainment);
     }
+    append_bits(out, prefill_chunk);
+    append_bits(out, chunked_prompts);
+    append_bits(out, prefill_chunks);
+    append_bits(out, chunk_decode_interleaves);
+    append_bits(out, static_cast<uint8_t>(kv_locality ? 1 : 0));
+    append_bits(out, kv_locality_skips);
     return out;
 }
 
@@ -2071,6 +2379,32 @@ Server::Server(const sim::Machine& machine, ServerOptions opts)
                     "Server: prefix sharing needs KV modeling "
                     "(kv_budget > 0) — shared prefix segments live "
                     "in the modeled KV pool");
+    }
+    util::check(opts_.prefill_chunk >= 0,
+                "Server: prefill_chunk must be >= 0 (0 disables "
+                "chunked prefill)");
+    if (opts_.prefill_chunk > 0) {
+        util::check((opts_.prefill_chunk &
+                     (opts_.prefill_chunk - 1)) == 0,
+                    "Server: prefill_chunk must be a power of two "
+                    "(the chunk grid quantization)");
+        util::check(opts_.max_prompt_len >= 1,
+                    "Server: chunked prefill needs max_prompt_len "
+                    "(the model sequence length)");
+        util::check(opts_.prefill_chunk <= opts_.max_prompt_len,
+                    "Server: prefill_chunk must not exceed "
+                    "max_prompt_len");
+        util::check(opts_.prompt_buckets.size() >= 2,
+                    "Server: chunked prefill needs a multi-entry "
+                    "prompt bucket ladder (varlen buckets) — with a "
+                    "single full-length bucket every chunk would pad "
+                    "to the full sequence");
+    }
+    if (opts_.kv_locality) {
+        util::check(opts_.kv_budget > 0,
+                    "Server: kv_locality needs KV modeling "
+                    "(kv_budget > 0) — residency is what it steers "
+                    "by");
     }
     util::check(opts_.tenants >= 1, "Server: tenants must be >= 1");
     util::check(opts_.fairness_tokens >= 0,

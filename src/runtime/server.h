@@ -365,7 +365,44 @@ struct ServerOptions {
     /// preemption entirely; high-priority preemption (preempt) is
     /// unaffected either way. Only meaningful with slo.
     int preempt_budget = 1;
+    /// Chunked prefill: split every prompt into chunks of at most this
+    /// many tokens (a power of two; the last chunk carries the
+    /// residual), each chunk scheduled through the (batch,
+    /// prompt-length) bucket grid like a short prompt. Between the
+    /// chunks of a long prompt the scheduler yields one decode
+    /// iteration whenever decode work waits, so decode latency stops
+    /// stalling behind whole long prompts; a chunk's KV grows the
+    /// request's segment incrementally and TTFT fires when the final
+    /// chunk retires. Chunking also makes prefill claiming
+    /// length-aware: the prefill queues order by (effective deadline,
+    /// remaining length, id) under a bounded fairness window
+    /// (kChunkStarveLimit passes), so short prompts and near-deadline
+    /// chunks claim first without starving giants. Must be <=
+    /// max_prompt_len and needs a multi-entry prompt-bucket ladder
+    /// (with a single full-length bucket every chunk would pad to the
+    /// full sequence — fatal). 0 (default) = off, bit-identical to
+    /// the unchunked scheduler.
+    int prefill_chunk = 0;
+    /// KV-locality-aware decode claiming: batch membership prefers
+    /// requests whose KV segment is still resident in SRAM; a spilled
+    /// request is claimed only when no resident request can fill the
+    /// slot (each examined-and-passed-over spilled request counts one
+    /// kv_locality_skips). Work-conserving: when nothing resident can
+    /// run, the spilled head runs exactly as without this flag.
+    /// Requires kv_budget > 0 (fatal otherwise). Off (default) is
+    /// bit-identical to residency-blind claiming.
+    bool kv_locality = false;
 };
+
+/**
+ * The chunk schedule prefill_chunk imposes on a prompt: full chunks of
+ * @p chunk tokens followed by one residual chunk with the remainder
+ * (e.g. a 100-token prompt at chunk 32 -> {32, 32, 32, 4}). @p chunk
+ * must be a positive power of two; @p prompt_len >= 1. A prompt no
+ * longer than @p chunk yields a single chunk — the degenerate case the
+ * chunked bit-identity anchor relies on.
+ */
+std::vector<int> chunk_plan(int prompt_len, int chunk);
 
 /// Aggregate serving metrics for one trace (paper-style tail report).
 struct ServingReport {
@@ -525,6 +562,26 @@ struct ServingReport {
         double attainment = 0.0;   ///< per-tenant SLO attainment.
     };
     std::vector<TenantShare> tenant_shares;
+
+    // --- chunked prefill / KV-locality claiming (ServerOptions::
+    // --- prefill_chunk / kv_locality; all zero when both are off) ---
+    /// Chunk size served with (ServerOptions::prefill_chunk; 0 = off,
+    /// gates the summary block).
+    int prefill_chunk = 0;
+    /// Prompts whose ingestion needed more than one chunk.
+    int64_t chunked_prompts = 0;
+    /// Chunk claims across all prefill iterations (== prompts claimed
+    /// when chunking is off or every prompt fits one chunk).
+    int64_t prefill_chunks = 0;
+    /// Decode iterations the scheduler interleaved between the chunks
+    /// of partially-ingested prompts (the head-of-line win).
+    int64_t chunk_decode_interleaves = 0;
+    /// KV-locality decode claiming was enabled
+    /// (ServerOptions::kv_locality; gates the summary line).
+    bool kv_locality = false;
+    /// Spilled requests passed over by a decode claim because a
+    /// KV-resident request could fill the slot instead.
+    int64_t kv_locality_skips = 0;
 
     /// Multi-line human summary.
     std::string summary() const;

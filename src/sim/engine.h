@@ -297,11 +297,15 @@ class EngineState {
     /// for by advancing the clock (run_to) before the next program.
     bool kv_fetch(int64_t id);
 
-    /// Grows @p id by @p per_core_bytes (one decoded token's KV). A
-    /// resident segment's growth can spill other unpinned segments at
-    /// the budget boundary — or, when only the growing segment itself
-    /// is evictable, spill the segment whole (the thrash case a tight
-    /// budget produces). A spilled segment grows in HBM for free.
+    /// Grows @p id by @p per_core_bytes — one decoded token's KV, or
+    /// a whole prefill chunk's worth at once: chunked prefill
+    /// (runtime::ServerOptions::prefill_chunk) grows a prompt's
+    /// segment chunk by chunk through this same call, so multi-token
+    /// growths are first-class. A resident segment's growth can spill
+    /// other unpinned segments at the budget boundary — or, when only
+    /// the growing segment itself is evictable, spill the segment
+    /// whole (the thrash case a tight budget produces). A spilled
+    /// segment grows in HBM for free.
     void kv_grow(int64_t id, uint64_t per_core_bytes);
 
     /// Marks one consuming iteration: pins @p id against every form

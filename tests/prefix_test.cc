@@ -45,18 +45,22 @@ tiny_chip()
 }
 
 /// serialize_bits() without the trailing prefix block (u8 flag +
-/// 4 x 8-byte counters) and the empty SLO block behind it (both
-/// reports compared here have slo off, so that tail is fixed-size
-/// too): what the sharing-disabled anchor compares.
+/// 4 x 8-byte counters), the empty SLO block behind it (both reports
+/// compared here have slo off, so that tail is fixed-size too), and
+/// the chunk/locality block behind that (both have chunking off):
+/// what the sharing-disabled anchor compares.
 std::string
 bits_before_prefix_block(const runtime::ServingReport& rep)
 {
     std::string bits = rep.serialize_bits();
     EXPECT_FALSE(rep.slo);
+    EXPECT_EQ(rep.prefill_chunk, 0);
+    constexpr size_t kChunkBlock = 4 + 3 * 8 + 1 + 8;
     constexpr size_t kSloBlock = 1 + 3 * 4 + 3 * 8 + 4 + 8 + 4;
     constexpr size_t kPrefixBlock = 1 + 4 * 8;
-    EXPECT_GE(bits.size(), kPrefixBlock + kSloBlock);
-    return bits.substr(0, bits.size() - kPrefixBlock - kSloBlock);
+    constexpr size_t kTail = kPrefixBlock + kSloBlock + kChunkBlock;
+    EXPECT_GE(bits.size(), kTail);
+    return bits.substr(0, bits.size() - kTail);
 }
 
 // ---------------------------------------------------------------------------

@@ -152,7 +152,17 @@ usage(const char* argv0)
         "  --preempt-budget N\n"
         "                    deadline preemptions one request may\n"
         "                    trigger (default 1; 0 disables deadline\n"
-        "                    preemption; requires SLO scheduling)\n",
+        "                    preemption; requires SLO scheduling)\n"
+        "  --prefill-chunk N\n"
+        "                    split prompts into chunks of at most N\n"
+        "                    tokens (a power of two), interleaving\n"
+        "                    decode between chunks (default 0 = off;\n"
+        "                    needs a multi-entry prompt bucket ladder\n"
+        "                    — docs/SERVING.md)\n"
+        "  --kv-locality     decode claiming prefers requests whose\n"
+        "                    KV segment is still resident; spilled\n"
+        "                    requests run only when nothing resident\n"
+        "                    can (requires --kv-budget > 0)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -226,6 +236,8 @@ serve_main(int argc, char** argv, const char* argv0)
     std::string tenant_shares_arg;
     int preempt_budget = 1;
     bool preempt_budget_set = false;
+    int prefill_chunk = 0;
+    bool kv_locality = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char* flag) {
@@ -313,6 +325,11 @@ serve_main(int argc, char** argv, const char* argv0)
             preempt_budget =
                 util::parse_int_arg(v, "--preempt-budget", 0, 1 << 20);
             preempt_budget_set = true;
+        } else if (const char* v = arg("--prefill-chunk")) {
+            prefill_chunk =
+                util::parse_int_arg(v, "--prefill-chunk", 0, 1 << 20);
+        } else if (std::strcmp(argv[i], "--kv-locality") == 0) {
+            kv_locality = true;
         } else if (std::strcmp(argv[i], "--migrate-kv") == 0) {
             migrate_kv = true;
         } else if (std::strcmp(argv[i], "--no-preempt") == 0) {
@@ -426,6 +443,24 @@ serve_main(int argc, char** argv, const char* argv0)
             "which only runs under SLO scheduling: pass --tenants >= "
             "2 or --slo S > 0 as well");
     }
+    // Chunked prefill splits prompts across the (batch, length) bucket
+    // grid; with the single full-length bucket of --prompt-dist full
+    // and no --prompt-buckets ladder, every chunk would pad to the
+    // full sequence. The Server constructor enforces the same rule on
+    // the finalized ladder; this check fires first with flag names.
+    if (prefill_chunk > 0 && prompt_buckets.size() == 1) {
+        util::fatal(
+            "--prefill-chunk needs a multi-entry prompt bucket ladder "
+            "(varlen buckets): pass --prompt-buckets with >= 2 "
+            "entries, or drop it to use the default power-of-two "
+            "ladder");
+    }
+    if (kv_locality && kv_budget_kb == 0) {
+        util::fatal(
+            "--kv-locality steers decode claiming by KV residency, "
+            "which only exists under KV modeling: pass --kv-budget "
+            "KB > 0 as well");
+    }
 
     hw::ChipConfig chip = parse_target(topology, hbm_tbs, chips);
     compiler::CompileOptions copts;
@@ -457,6 +492,8 @@ serve_main(int argc, char** argv, const char* argv0)
     sopts.tenants = tenants;
     sopts.tenant_shares = tenant_shares;
     sopts.preempt_budget = preempt_budget;
+    sopts.prefill_chunk = prefill_chunk;
+    sopts.kv_locality = kv_locality;
     std::vector<runtime::Request> trace;
     if (session_trace) {
         runtime::SessionTraceOptions st;
@@ -548,6 +585,10 @@ serve_main(int argc, char** argv, const char* argv0)
                     "%s, preempt budget %d\n",
                     tenants, shares.c_str(), deadline.c_str(),
                     preempt_budget);
+    }
+    if (prefill_chunk > 0 || kv_locality) {
+        std::printf("chunking   : prefill chunk %d, kv locality %s\n",
+                    prefill_chunk, kv_locality ? "on" : "off");
     }
     auto prefill_programs = [&](int b, int len) {
         return pc.program(b, len);

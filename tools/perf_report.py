@@ -19,7 +19,9 @@ contract:
         proves the simulated results are bit-identical;
     tools/perf_report.py --baseline OLD.json NEW.json
         print the per-cell rate ratio NEW/OLD (the trajectory view),
-        failing if any cell's digest changed.
+        failing if a common cell's digest changed or a baseline cell
+        vanished; cells only in NEW (a PR added a bench phase) are
+        printed as notes, not errors.
 """
 
 import argparse
@@ -112,15 +114,18 @@ def print_digests(doc):
 
 
 def compare(old_doc, new_doc):
-    """Prints NEW/OLD rate ratios; returns violations (digest drift,
-    cells present in one run only)."""
+    """Prints NEW/OLD rate ratios; returns violations (digest drift on
+    common cells, cells that vanished from the new run). Cells present
+    only in the new run are fine — a PR that adds a bench phase adds
+    cells the baseline predates — and are printed as a note instead."""
     errors = []
     old = {(c["phase"], c["name"]): c for c in old_doc["cells"]}
     new = {(c["phase"], c["name"]): c for c in new_doc["cells"]}
     for ident in old.keys() - new.keys():
         errors.append(f"cell {ident} present only in the baseline")
-    for ident in new.keys() - old.keys():
-        errors.append(f"cell {ident} present only in the new run")
+    for ident in sorted(new.keys() - old.keys()):
+        print(f"note: cell {ident} is new (not in the baseline); "
+              "no ratio to report")
     print(f"{'phase':<14}{'cell':<16}{'old rate':>12}{'new rate':>12}"
           f"{'speedup':>9}")
     for cell in new_doc["cells"]:
